@@ -1,0 +1,319 @@
+package repro
+
+// The benchmark harness regenerates every table and figure of the
+// paper's evaluation (Section 5 and Appendix C): one Benchmark per
+// artifact, each reporting the figure's headline metric alongside
+// wall-clock cost. Run everything with
+//
+//	go test -bench=. -benchmem
+//
+// Benchmarks use the quick experiment scale so a full pass stays in
+// minutes; cmd/experiments regenerates the paper-scale outputs.
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/policy"
+)
+
+func benchOpts() experiments.Options {
+	opts := experiments.QuickOptions()
+	opts.Days = 4
+	opts.Users = 8
+	opts.GBDTRounds = 12
+	return opts
+}
+
+// BenchmarkFig1WorkloadDiversity regenerates Fig. 1 (workload space
+// usage and lifetime diversity).
+func BenchmarkFig1WorkloadDiversity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig1(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.DiversityRatio(), "diversity_ratio")
+	}
+}
+
+// BenchmarkHeadroomOracle regenerates the Section 3.1 headroom
+// analysis (paper: oracle = 5.06x heuristic savings).
+func BenchmarkHeadroomOracle(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Headroom(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Ratio, "oracle_vs_heuristic_x")
+	}
+}
+
+// BenchmarkFig4OracleDecisions regenerates Fig. 4 (oracle decisions vs
+// I/O density under different quotas).
+func BenchmarkFig4OracleDecisions(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig4(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Quotas[0].AdmitFracByDensityQuintile[4], "dense_admit_frac_1pct")
+	}
+}
+
+// BenchmarkFig5Prototype regenerates Fig. 5 (prototype deployment,
+// paper: 4.38x over FirstFit at 1% quota).
+func BenchmarkFig5Prototype(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig5(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		row := res.Rows[0]
+		if row.FirstFitTCO > 0 {
+			b.ReportMetric(row.RankingTCO/row.FirstFitTCO, "ratio_at_1pct_x")
+		}
+	}
+}
+
+// BenchmarkFig6ClusterSweep regenerates Fig. 6 (per-cluster savings at
+// 1% quota; paper: up to 3.47x / mean 2.59x over the best baseline).
+func BenchmarkFig6ClusterSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig6(benchOpts(), 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, max, mean := res.ImprovementStats()
+		b.ReportMetric(max, "max_improvement_x")
+		b.ReportMetric(mean, "mean_improvement_x")
+	}
+}
+
+// BenchmarkFig7QuotaSweep regenerates Fig. 7 (TCO savings vs SSD
+// quota, all seven methods).
+func BenchmarkFig7QuotaSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig7(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		curve := res.TCOPct[policy.NameAdaptiveRanking]
+		b.ReportMetric(curve[len(curve)-1], "ranking_tco_pct_full_quota")
+	}
+}
+
+// BenchmarkFig8Generalization regenerates Fig. 8 (cross-workload
+// generalization; C3 is the outlier cluster).
+func BenchmarkFig8Generalization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig8(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		home := res.TCOPct["train C0"]
+		b.ReportMetric(home[len(home)-1], "home_model_tco_pct")
+	}
+}
+
+// BenchmarkFig9aInference regenerates Fig. 9a (accumulated inference
+// time over 50 jobs; paper: ~4 ms/job in Python).
+func BenchmarkFig9aInference(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig9a(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.MeanMicros, "mean_us_per_job")
+	}
+}
+
+// BenchmarkFig9bAccuracy regenerates Fig. 9b (accuracy vs training
+// size; paper: no strong correlation).
+func BenchmarkFig9bAccuracy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig9b(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Accuracies[len(res.Accuracies)-1], "top1_accuracy")
+	}
+}
+
+// BenchmarkFig9cImportance regenerates Fig. 9c (feature-group
+// importance via AUC decrease).
+func BenchmarkFig9cImportance(b *testing.B) {
+	opts := benchOpts()
+	opts.NumCategories = 6 // fewer one-vs-rest probes per iteration
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig9c(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.GroupMean("A"), "history_group_importance")
+	}
+}
+
+// BenchmarkFig10NewUsers regenerates Fig. 10 (generalization to new
+// users and pipelines).
+func BenchmarkFig10NewUsers(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig10(benchOpts(), "user", 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.MaxRelativeGap(), "max_relative_gap")
+	}
+}
+
+// BenchmarkFig11TrueCategory regenerates Fig. 11 (predicted vs true
+// category; paper: accuracy has diminishing returns).
+func BenchmarkFig11TrueCategory(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig11(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.MaxGap(), "max_gap_points")
+	}
+}
+
+// BenchmarkFig13MixedWorkloads regenerates Fig. 13 (mixed framework /
+// non-framework prototype savings).
+func BenchmarkFig13MixedWorkloads(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig13(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Rows[0].RankingTCO, "framework_tco_pct_1pct")
+	}
+}
+
+// BenchmarkFig14AppRuntime regenerates Fig. 14 (application run-time
+// savings; paper: no regressions).
+func BenchmarkFig14AppRuntime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig14(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.MinSavings(), "worst_runtime_savings_pct")
+	}
+}
+
+// BenchmarkFig15Sensitivity regenerates Fig. 15 (hyperparameter
+// sensitivity band; paper: insensitive).
+func BenchmarkFig15Sensitivity(b *testing.B) {
+	opts := benchOpts()
+	opts.Days = 3
+	opts.Users = 6
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig15(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.MaxBandWidth(), "max_band_width_points")
+	}
+}
+
+// BenchmarkFig16Dynamics regenerates Fig. 16 (ACT and spillover
+// dynamics across quotas).
+func BenchmarkFig16Dynamics(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig16(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Series[0].MeanACT(), "mean_act_tightest_quota")
+	}
+}
+
+// BenchmarkTable4CategoryCount regenerates Table 4 (TCO savings and
+// accuracy vs category count N).
+func BenchmarkTable4CategoryCount(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table4(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			if row.N == 15 {
+				b.ReportMetric(row.TCOPct, "tco_pct_n15")
+			}
+		}
+	}
+}
+
+// BenchmarkAblationGranularity regenerates the §5.1 model-granularity
+// ablation.
+func BenchmarkAblationGranularity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Granularity(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Rows[0].TCOPctAt1, "per_cluster_tco_pct_1pct")
+	}
+}
+
+// BenchmarkAblationLabelDesign regenerates the §4.2 label-spacing
+// ablation.
+func BenchmarkAblationLabelDesign(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.LabelDesign(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Rows[0].BalanceEntropy, "quantile_balance_entropy")
+	}
+}
+
+// BenchmarkAblationWindowSemantics regenerates the §4.3 look-back
+// window semantics ablation.
+func BenchmarkAblationWindowSemantics(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.WindowSemantics(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.StartWithin[1], "start_within_tco_pct_1pct")
+	}
+}
+
+// BenchmarkExtensionDrift regenerates the §2.3 workload-drift
+// extension (stale vs retrained model).
+func BenchmarkExtensionDrift(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Drift(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Retrained[0], "retrained_tco_pct_1pct")
+		b.ReportMetric(res.Stale[0], "stale_tco_pct_1pct")
+	}
+}
+
+// BenchmarkExtensionImitation regenerates the §4 imitation-learning
+// comparison (environment baked into end-to-end labels).
+func BenchmarkExtensionImitation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Imitation(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.RelativeAt(len(res.Quotas)-1), "imitation_vs_ranking_full_quota")
+	}
+}
+
+// BenchmarkExtensionCostSensitivity regenerates the SSD wear-rate
+// sensitivity sweep.
+func BenchmarkExtensionCostSensitivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.CostSensitivity(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Rows[len(res.Rows)-1].NegativeFrac, "neg_frac_at_4x_wear")
+	}
+}

@@ -1,0 +1,179 @@
+// Package byom is the public API of the Bring-Your-Own-Model storage
+// placement library — a Go reproduction of "A Bring-Your-Own-Model
+// Approach for ML-Driven Storage Placement in Warehouse-Scale
+// Computers" (MLSys 2025).
+//
+// The BYOM design splits placement across two layers:
+//
+//   - Application layer: each workload trains its own small,
+//     interpretable category model (gradient boosted trees over
+//     Table-2-style features) that ranks its jobs by "importance" —
+//     a proxy for the TCO savings of placing the job on SSD.
+//   - Storage layer: the Adaptive Category Selection Algorithm
+//     (Algorithm 1) converts those per-job category hints into
+//     admissions under whatever SSD capacity happens to be available,
+//     using spillover feedback as its control signal.
+//
+// Typical usage:
+//
+//	cm := byom.DefaultCostModel()
+//	model, err := byom.TrainCategoryModel(trainJobs, cm, byom.DefaultTrainOptions())
+//	policy, err := byom.NewAdaptiveRankingPolicy(model, cm)
+//	result, err := byom.Simulate(testTrace, policy, cm, byom.SimConfig{SSDQuota: quota})
+//	fmt.Println(result.TCOSavingsPercent())
+package byom
+
+import (
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/oracle"
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Core data types re-exported from the internal packages.
+type (
+	// Job is one shuffle job: the unit of placement.
+	Job = trace.Job
+	// Trace is a time-ordered job collection.
+	Trace = trace.Trace
+	// Metadata holds the execution-metadata features (group B).
+	Metadata = trace.Metadata
+	// Resources holds the allocated-resources features (group C).
+	Resources = trace.Resources
+	// History holds the historical system metrics (group A).
+	History = trace.History
+
+	// CostModel evaluates TCIO and TCO (Section 3).
+	CostModel = cost.Model
+	// CostRates are the model's conversion rates.
+	CostRates = cost.Rates
+
+	// CategoryModel is a trained BYOM importance-ranking model.
+	CategoryModel = core.CategoryModel
+	// TrainOptions configures category-model training.
+	TrainOptions = core.TrainOptions
+	// AdaptiveConfig holds Algorithm 1's hyperparameters.
+	AdaptiveConfig = core.AdaptiveConfig
+
+	// Policy is the placement-policy interface used by Simulate.
+	Policy = sim.Policy
+	// SimConfig configures a simulation run.
+	SimConfig = sim.Config
+	// SimResult aggregates a simulation run.
+	SimResult = sim.Result
+
+	// GeneratorConfig configures the synthetic workload generator.
+	GeneratorConfig = trace.GeneratorConfig
+
+	// OracleConfig configures the clairvoyant ILP oracle.
+	OracleConfig = oracle.Config
+	// OracleResult holds oracle placement decisions.
+	OracleResult = oracle.Result
+
+	// PartialOutcome describes how much of a job ran on SSD, for
+	// partial-savings accounting.
+	PartialOutcome = cost.PartialOutcome
+)
+
+// FullResidency is the PartialOutcome of a job that kept its SSD
+// allocation for its whole lifetime with the given byte fraction.
+func FullResidency(fracOnSSD float64) PartialOutcome {
+	return cost.PartialOutcome{FracOnSSD: fracOnSSD, ResidencyFrac: 1}
+}
+
+// DefaultCostModel returns the calibrated warehouse-scale cost model.
+func DefaultCostModel() *CostModel { return cost.Default() }
+
+// NewCostModel builds a cost model from explicit rates.
+func NewCostModel(r CostRates) *CostModel { return cost.NewModel(r) }
+
+// DefaultCostRates returns the calibrated rates (configurable copy).
+func DefaultCostRates() CostRates { return cost.DefaultRates() }
+
+// DefaultTrainOptions mirrors the paper's model setup (15 categories,
+// depth-6 gradient boosted trees).
+func DefaultTrainOptions() TrainOptions { return core.DefaultTrainOptions() }
+
+// TrainCategoryModel trains a workload's category model on historical
+// jobs: it fits the density-quantile label design, builds metadata
+// vocabularies and trains the pointwise ranking classifier.
+func TrainCategoryModel(train []*Job, cm *CostModel, opts TrainOptions) (*CategoryModel, error) {
+	return core.TrainCategoryModel(train, cm, opts)
+}
+
+// LoadCategoryModelFile reads a model bundle saved with
+// (*CategoryModel).SaveFile.
+func LoadCategoryModelFile(path string) (*CategoryModel, error) {
+	return core.LoadCategoryModelFile(path)
+}
+
+// DefaultAdaptiveConfig returns Algorithm 1's default hyperparameters
+// for an N-category model.
+func DefaultAdaptiveConfig(numCategories int) AdaptiveConfig {
+	return core.DefaultAdaptiveConfig(numCategories)
+}
+
+// NewAdaptiveRankingPolicy wires a trained category model to a fresh
+// Algorithm 1 controller: the paper's placement method.
+func NewAdaptiveRankingPolicy(model *CategoryModel, cm *CostModel) (Policy, error) {
+	return policy.NewAdaptiveRanking(model, cm, core.DefaultAdaptiveConfig(model.NumCategories()))
+}
+
+// NewAdaptiveRankingPolicyWithConfig is NewAdaptiveRankingPolicy with
+// explicit controller hyperparameters.
+func NewAdaptiveRankingPolicyWithConfig(model *CategoryModel, cm *CostModel, cfg AdaptiveConfig) (Policy, error) {
+	return policy.NewAdaptiveRanking(model, cm, cfg)
+}
+
+// NewFirstFitPolicy returns the static FirstFit baseline (§3.2).
+func NewFirstFitPolicy() Policy { return policy.FirstFit{} }
+
+// NewHeuristicPolicy returns the CacheSack-style adaptive baseline
+// (§3.3), primed with the given historical jobs.
+func NewHeuristicPolicy(cm *CostModel, history []*Job) Policy {
+	h := policy.NewHeuristic(cm, policy.DefaultHeuristicConfig())
+	h.Prime(history)
+	return h
+}
+
+// Simulate replays a trace through a placement policy under an SSD
+// quota and returns savings metrics.
+func Simulate(tr *Trace, p Policy, cm *CostModel, cfg SimConfig) (*SimResult, error) {
+	return sim.Run(tr, p, cm, cfg)
+}
+
+// SolveOracle computes the clairvoyant placement (Section 3.1's
+// headroom oracle) for a job set under an SSD capacity.
+func SolveOracle(jobs []*Job, capacity float64, cm *CostModel, cfg OracleConfig) (*OracleResult, error) {
+	return oracle.Solve(jobs, capacity, cm, cfg)
+}
+
+// DefaultOracleConfig returns the oracle solver defaults.
+func DefaultOracleConfig() OracleConfig { return oracle.DefaultConfig() }
+
+// GenerateCluster produces a synthetic cluster workload trace — the
+// stand-in for production traces (see DESIGN.md for the substitution
+// rationale).
+func GenerateCluster(cfg GeneratorConfig) *Trace {
+	return trace.NewGenerator(cfg).Generate()
+}
+
+// DefaultGeneratorConfig returns a medium-sized cluster workload
+// configuration.
+func DefaultGeneratorConfig(cluster string, seed int64) GeneratorConfig {
+	return trace.DefaultGeneratorConfig(cluster, seed)
+}
+
+// ClusterConfigs builds n distinct cluster configurations with uneven
+// workload mixes (cluster 3 is the pathological outlier).
+func ClusterConfigs(n int, baseSeed int64) []GeneratorConfig {
+	return trace.ClusterConfigs(n, baseSeed)
+}
+
+// SaveTrace / LoadTrace persist traces as JSON lines.
+func SaveTrace(path string, tr *Trace) error { return trace.SaveFile(path, tr) }
+
+// LoadTrace reads a trace written by SaveTrace.
+func LoadTrace(path string) (*Trace, error) { return trace.LoadFile(path) }

@@ -1,0 +1,117 @@
+package byom_test
+
+import (
+	"testing"
+
+	"repro/byom"
+)
+
+// TestPublicAPIEndToEnd walks the full documented flow: generate,
+// train, simulate, compare against baselines and the oracle.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	gcfg := byom.DefaultGeneratorConfig("demo", 7)
+	gcfg.DurationSec = 4 * 24 * 3600
+	gcfg.NumUsers = 8
+	full := byom.GenerateCluster(gcfg)
+	train, test := full.SplitAt(2 * 24 * 3600)
+	if len(train.Jobs) == 0 || len(test.Jobs) == 0 {
+		t.Fatal("empty generated trace")
+	}
+
+	cm := byom.DefaultCostModel()
+	opts := byom.DefaultTrainOptions()
+	opts.GBDT.NumRounds = 10
+	model, err := byom.TrainCategoryModel(train.Jobs, cm, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	quota := test.PeakSSDUsage() * 0.01
+	ranking, err := byom.NewAdaptiveRankingPolicy(model, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rres, err := byom.Simulate(test, ranking, cm, byom.SimConfig{SSDQuota: quota})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fres, err := byom.Simulate(test, byom.NewFirstFitPolicy(), cm, byom.SimConfig{SSDQuota: quota})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rres.TCOSavingsPercent() <= fres.TCOSavingsPercent() {
+		t.Errorf("ranking %.3f%% <= firstfit %.3f%% at tight quota",
+			rres.TCOSavingsPercent(), fres.TCOSavingsPercent())
+	}
+
+	heur := byom.NewHeuristicPolicy(cm, train.Jobs)
+	if _, err := byom.Simulate(test, heur, cm, byom.SimConfig{SSDQuota: quota}); err != nil {
+		t.Fatal(err)
+	}
+
+	sol, err := byom.SolveOracle(test.Jobs, quota, cm, byom.DefaultOracleConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Value <= 0 {
+		t.Error("oracle found no savings")
+	}
+}
+
+func TestPublicAPITracePersistence(t *testing.T) {
+	gcfg := byom.DefaultGeneratorConfig("persist", 9)
+	gcfg.DurationSec = 6 * 3600
+	gcfg.NumUsers = 3
+	tr := byom.GenerateCluster(gcfg)
+	path := t.TempDir() + "/t.jsonl"
+	if err := byom.SaveTrace(path, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := byom.LoadTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Jobs) != len(tr.Jobs) {
+		t.Errorf("round trip lost jobs: %d vs %d", len(got.Jobs), len(tr.Jobs))
+	}
+}
+
+func TestPublicAPIModelPersistence(t *testing.T) {
+	gcfg := byom.DefaultGeneratorConfig("m", 11)
+	gcfg.DurationSec = 12 * 3600
+	gcfg.NumUsers = 4
+	tr := byom.GenerateCluster(gcfg)
+	cm := byom.DefaultCostModel()
+	opts := byom.DefaultTrainOptions()
+	opts.GBDT.NumRounds = 3
+	model, err := byom.TrainCategoryModel(tr.Jobs, cm, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/model.json"
+	if err := model.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := byom.LoadCategoryModelFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range tr.Jobs[:20] {
+		if got.Predict(j) != model.Predict(j) {
+			t.Fatal("prediction changed after persistence")
+		}
+	}
+}
+
+func TestClusterConfigsExposed(t *testing.T) {
+	cfgs := byom.ClusterConfigs(4, 1)
+	if len(cfgs) != 4 {
+		t.Fatalf("got %d configs", len(cfgs))
+	}
+	rates := byom.DefaultCostRates()
+	rates.SSDWearPerByteWritten *= 2
+	cm := byom.NewCostModel(rates)
+	if cm.Rates.SSDWearPerByteWritten != rates.SSDWearPerByteWritten {
+		t.Error("custom rates not applied")
+	}
+}

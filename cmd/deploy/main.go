@@ -1,0 +1,59 @@
+// Command deploy runs the end-to-end prototype deployment (RQ1): data
+// processing pipelines execute against the in-memory distributed
+// storage substrate, the BYOM model produces hints inside the
+// framework, and caching servers run Algorithm 1. This is the paper's
+// test-deployment experiment (Fig. 5) as a standalone binary.
+//
+// Usage:
+//
+//	deploy                 # framework-only deployment (Fig. 5)
+//	deploy -mixed          # mixed framework/non-framework (Figs. 13-14)
+//	deploy -quick          # reduced model training
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		mixed = flag.Bool("mixed", false, "run the mixed framework/non-framework deployment")
+		quick = flag.Bool("quick", false, "reduced model-training scale")
+		seed  = flag.Int64("seed", 1, "deployment seed")
+	)
+	flag.Parse()
+
+	opts := experiments.DefaultOptions()
+	if *quick {
+		opts = experiments.QuickOptions()
+	}
+	opts.Seed = *seed
+
+	if *mixed {
+		f13, err := experiments.Fig13(opts)
+		if err != nil {
+			fatal(err)
+		}
+		f13.Render(os.Stdout)
+		f14, err := experiments.Fig14(opts)
+		if err != nil {
+			fatal(err)
+		}
+		f14.Render(os.Stdout)
+		return
+	}
+	res, err := experiments.Fig5(opts)
+	if err != nil {
+		fatal(err)
+	}
+	res.Render(os.Stdout)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "deploy:", err)
+	os.Exit(1)
+}

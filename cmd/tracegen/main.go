@@ -1,0 +1,66 @@
+// Command tracegen generates synthetic warehouse-scale cluster traces
+// (the reproduction's stand-in for Google production traces) and writes
+// them as JSON lines.
+//
+// Usage:
+//
+//	tracegen -cluster C0 -seed 1 -days 14 -users 12 -out c0.jsonl
+//	tracegen -fleet 10 -seed 1 -days 14 -outdir traces/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/byom"
+)
+
+func main() {
+	var (
+		cluster = flag.String("cluster", "C0", "cluster name for a single trace")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		days    = flag.Float64("days", 14, "trace duration in days")
+		users   = flag.Int("users", 12, "number of users")
+		out     = flag.String("out", "", "output file for a single trace (default <cluster>.jsonl)")
+		fleet   = flag.Int("fleet", 0, "generate a fleet of N clusters with uneven mixes instead of one")
+		outdir  = flag.String("outdir", ".", "output directory for fleet mode")
+	)
+	flag.Parse()
+
+	if *fleet > 0 {
+		cfgs := byom.ClusterConfigs(*fleet, *seed)
+		for _, cfg := range cfgs {
+			cfg.DurationSec = *days * 24 * 3600
+			cfg.NumUsers = *users
+			tr := byom.GenerateCluster(cfg)
+			path := filepath.Join(*outdir, cfg.Cluster+".jsonl")
+			if err := byom.SaveTrace(path, tr); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%s: %d jobs, peak SSD usage %.2f GiB -> %s\n",
+				cfg.Cluster, len(tr.Jobs), tr.PeakSSDUsage()/(1<<30), path)
+		}
+		return
+	}
+
+	cfg := byom.DefaultGeneratorConfig(*cluster, *seed)
+	cfg.DurationSec = *days * 24 * 3600
+	cfg.NumUsers = *users
+	tr := byom.GenerateCluster(cfg)
+	path := *out
+	if path == "" {
+		path = *cluster + ".jsonl"
+	}
+	if err := byom.SaveTrace(path, tr); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s: %d jobs over %.1f days, peak SSD usage %.2f GiB -> %s\n",
+		*cluster, len(tr.Jobs), *days, tr.PeakSSDUsage()/(1<<30), path)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,88 @@
+// Capacityplanner: uses the library the way a capacity-planning team
+// would — sweep SSD quotas over a cluster's trace, compare deployable
+// policies against the clairvoyant oracle bound, and find the smallest
+// SSD purchase that captures most of the achievable TCO savings.
+//
+// Run with: go run ./examples/capacityplanner
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/byom"
+)
+
+func main() {
+	gcfg := byom.DefaultGeneratorConfig("planner", 77)
+	gcfg.DurationSec = 4 * 24 * 3600
+	full := byom.GenerateCluster(gcfg)
+	train, test := full.SplitAt(2 * 24 * 3600)
+
+	cm := byom.DefaultCostModel()
+	opts := byom.DefaultTrainOptions()
+	opts.GBDT.NumRounds = 25
+	model, err := byom.TrainCategoryModel(train.Jobs, cm, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	peak := test.PeakSSDUsage()
+	fmt.Printf("cluster peak concurrent footprint: %.2f TiB\n\n", peak/(1<<40))
+	fmt.Printf("%8s  %12s  %14s  %14s  %12s\n",
+		"quota", "SSD (TiB)", "ranking TCO%", "firstfit TCO%", "oracle TCO%")
+
+	type point struct {
+		frac    float64
+		ranking float64
+	}
+	var curve []point
+	for _, frac := range []float64{0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.4, 0.7, 1.0} {
+		quota := peak * frac
+
+		ranking, err := byom.NewAdaptiveRankingPolicy(model, cm)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rres, err := byom.Simulate(test, ranking, cm, byom.SimConfig{SSDQuota: quota})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fres, err := byom.Simulate(test, byom.NewFirstFitPolicy(), cm, byom.SimConfig{SSDQuota: quota})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ocfg := byom.DefaultOracleConfig()
+		ocfg.Fractional = true
+		sol, err := byom.SolveOracle(test.Jobs, quota, cm, ocfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var totalTCO float64
+		for _, j := range test.Jobs {
+			totalTCO += cm.TCOHDD(j)
+		}
+		oraclePct := 100 * sol.Value / totalTCO
+
+		fmt.Printf("%7.1f%%  %12.2f  %14.3f  %14.3f  %12.3f\n",
+			frac*100, quota/(1<<40), rres.TCOSavingsPercent(),
+			fres.TCOSavingsPercent(), oraclePct)
+		curve = append(curve, point{frac, rres.TCOSavingsPercent()})
+	}
+
+	// Recommend the knee: the smallest quota achieving 90% of the
+	// best observed ranking savings.
+	best := 0.0
+	for _, p := range curve {
+		if p.ranking > best {
+			best = p.ranking
+		}
+	}
+	for _, p := range curve {
+		if p.ranking >= 0.9*best {
+			fmt.Printf("\nrecommendation: provision ~%.1f%% of peak (%.2f TiB) — "+
+				"captures %.0f%% of the best observed savings\n",
+				p.frac*100, peak*p.frac/(1<<40), 100*p.ranking/best)
+			break
+		}
+	}
+}

@@ -1,0 +1,64 @@
+// Quickstart: the complete BYOM flow in ~60 lines.
+//
+//  1. Generate a synthetic cluster workload (stands in for production
+//     traces).
+//  2. Train the workload's category model on the first half.
+//  3. Evaluate the Adaptive Ranking placement against FirstFit on the
+//     second half at a tight (1% of peak) SSD quota.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/byom"
+)
+
+func main() {
+	// 1. A four-day cluster workload: first two days train, last two
+	// evaluate (the paper uses one week each).
+	gcfg := byom.DefaultGeneratorConfig("quickstart", 42)
+	gcfg.DurationSec = 4 * 24 * 3600
+	full := byom.GenerateCluster(gcfg)
+	train, test := full.SplitAt(2 * 24 * 3600)
+	fmt.Printf("generated %d jobs (%d train / %d test)\n",
+		len(full.Jobs), len(train.Jobs), len(test.Jobs))
+
+	// 2. The workload brings its own model: a 15-category gradient
+	// boosted trees ranker over application-level features.
+	cm := byom.DefaultCostModel()
+	opts := byom.DefaultTrainOptions()
+	model, err := byom.TrainCategoryModel(train.Jobs, cm, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained N=%d category model, held-out top-1 accuracy %.2f\n",
+		model.NumCategories(), model.Accuracy(test.Jobs, cm))
+
+	// 3. Place the test week under a 1% SSD quota with Algorithm 1
+	// consuming the model's hints, against the FirstFit baseline.
+	quota := test.PeakSSDUsage() * 0.01
+	ranking, err := byom.NewAdaptiveRankingPolicy(model, cm)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rres, err := byom.Simulate(test, ranking, cm, byom.SimConfig{SSDQuota: quota})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fres, err := byom.Simulate(test, byom.NewFirstFitPolicy(), cm, byom.SimConfig{SSDQuota: quota})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nSSD quota: %.2f GiB (1%% of test-week peak usage)\n", quota/(1<<30))
+	fmt.Printf("AdaptiveRanking: %.3f%% TCO savings, %.3f%% TCIO savings\n",
+		rres.TCOSavingsPercent(), rres.TCIOSavingsPercent())
+	fmt.Printf("FirstFit:        %.3f%% TCO savings, %.3f%% TCIO savings\n",
+		fres.TCOSavingsPercent(), fres.TCIOSavingsPercent())
+	if fres.TCOSavingsPercent() > 0 {
+		fmt.Printf("improvement:     %.2fx\n", rres.TCOSavingsPercent()/fres.TCOSavingsPercent())
+	}
+}

@@ -1,0 +1,209 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/cost"
+	"repro/internal/features"
+	"repro/internal/gbdt"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// TrainOptions configures category-model training.
+type TrainOptions struct {
+	// NumCategories is N; the paper's default models use N = 15.
+	NumCategories int
+	// MaxVocab caps each metadata vocabulary.
+	MaxVocab int
+	// GBDT holds the boosting hyperparameters.
+	GBDT gbdt.Config
+}
+
+// DefaultTrainOptions mirrors the paper's setup (15-class model,
+// depth-6 trees) with a tree count sized for laptop-scale traces.
+func DefaultTrainOptions() TrainOptions {
+	cfg := gbdt.DefaultConfig()
+	cfg.MaxDepth = 6
+	return TrainOptions{
+		NumCategories: 15,
+		MaxVocab:      2048,
+		GBDT:          cfg,
+	}
+}
+
+// CategoryModel bundles everything an application needs to produce
+// placement hints: the feature encoder (vocabularies), the trained
+// ranking model and the label design. This is the artifact a workload
+// "brings" under the BYOM design.
+type CategoryModel struct {
+	Encoder *features.Encoder
+	Model   *gbdt.Model
+	Labeler *Labeler
+}
+
+// TrainCategoryModel trains a category model on historical jobs: it
+// fits the label design (density quantiles), builds vocabularies,
+// encodes features and trains the pointwise ranking classifier.
+func TrainCategoryModel(train []*trace.Job, cm *cost.Model, opts TrainOptions) (*CategoryModel, error) {
+	if len(train) == 0 {
+		return nil, fmt.Errorf("core: no training jobs")
+	}
+	labeler, err := FitLabeler(train, cm, opts.NumCategories)
+	if err != nil {
+		return nil, err
+	}
+	return TrainCategoryModelWithLabeler(train, cm, labeler, opts)
+}
+
+// TrainCategoryModelWithLabeler trains against an externally fitted
+// label design. Finer-granularity deployments (one model per user or
+// per pipeline, §5.1) share one labeler so that category hints from
+// different models remain comparable at the storage layer.
+func TrainCategoryModelWithLabeler(train []*trace.Job, cm *cost.Model, labeler *Labeler, opts TrainOptions) (*CategoryModel, error) {
+	if len(train) == 0 {
+		return nil, fmt.Errorf("core: no training jobs")
+	}
+	if opts.NumCategories < 2 {
+		return nil, fmt.Errorf("core: NumCategories = %d", opts.NumCategories)
+	}
+	if labeler.NumCategories != opts.NumCategories {
+		return nil, fmt.Errorf("core: labeler has %d categories, options %d",
+			labeler.NumCategories, opts.NumCategories)
+	}
+	labels := labeler.Labels(train, cm)
+	enc := features.BuildEncoder(train, opts.MaxVocab)
+	ds := enc.Dataset(train)
+	model, err := gbdt.TrainClassifier(ds, labels, opts.NumCategories, opts.GBDT)
+	if err != nil {
+		return nil, fmt.Errorf("core: training classifier: %w", err)
+	}
+	return &CategoryModel{Encoder: enc, Model: model, Labeler: labeler}, nil
+}
+
+// NumCategories returns N.
+func (m *CategoryModel) NumCategories() int { return m.Labeler.NumCategories }
+
+// Predict returns the predicted importance category of a job using only
+// decision-time features.
+func (m *CategoryModel) Predict(j *trace.Job) int {
+	row := m.Encoder.Encode(j, nil)
+	return m.Model.PredictClass(row)
+}
+
+// PredictInto is Predict with a reusable row buffer for hot paths.
+func (m *CategoryModel) PredictInto(j *trace.Job, buf []float64) (int, []float64) {
+	buf = m.Encoder.Encode(j, buf)
+	return m.Model.PredictClass(buf), buf
+}
+
+// PredictProba returns per-category probabilities.
+func (m *CategoryModel) PredictProba(j *trace.Job) []float64 {
+	row := m.Encoder.Encode(j, nil)
+	return m.Model.PredictProba(row)
+}
+
+// Accuracy computes top-1 accuracy against ground-truth labels on a job
+// slice (Fig. 9b).
+func (m *CategoryModel) Accuracy(jobs []*trace.Job, cm *cost.Model) float64 {
+	if len(jobs) == 0 {
+		return 0
+	}
+	correct := 0
+	var buf []float64
+	for _, j := range jobs {
+		var pred int
+		pred, buf = m.PredictInto(j, buf)
+		if pred == m.Labeler.Label(j, cm) {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(jobs))
+}
+
+// modelBundle is the on-disk representation.
+type modelBundle struct {
+	Encoder *features.Encoder `json:"encoder"`
+	Model   *gbdt.Model       `json:"model"`
+	Labeler *Labeler          `json:"labeler"`
+}
+
+// Save writes the bundle (encoder + model + labeler) as JSON.
+func (m *CategoryModel) Save(w io.Writer) error {
+	if err := json.NewEncoder(w).Encode(modelBundle{m.Encoder, m.Model, m.Labeler}); err != nil {
+		return fmt.Errorf("core: encode category model: %w", err)
+	}
+	return nil
+}
+
+// LoadCategoryModel reads a bundle written by Save.
+func LoadCategoryModel(r io.Reader) (*CategoryModel, error) {
+	var raw struct {
+		Encoder json.RawMessage `json:"encoder"`
+		Model   json.RawMessage `json:"model"`
+		Labeler json.RawMessage `json:"labeler"`
+	}
+	if err := json.NewDecoder(r).Decode(&raw); err != nil {
+		return nil, fmt.Errorf("core: decode category model: %w", err)
+	}
+	enc, err := features.LoadEncoder(bytesReader(raw.Encoder))
+	if err != nil {
+		return nil, err
+	}
+	model, err := gbdt.Load(bytesReader(raw.Model))
+	if err != nil {
+		return nil, err
+	}
+	labeler, err := LoadLabeler(bytesReader(raw.Labeler))
+	if err != nil {
+		return nil, err
+	}
+	if model.NumClasses != labeler.NumCategories {
+		return nil, fmt.Errorf("core: model has %d classes but labeler %d categories",
+			model.NumClasses, labeler.NumCategories)
+	}
+	return &CategoryModel{Encoder: enc, Model: model, Labeler: labeler}, nil
+}
+
+// SaveFile writes the bundle to a file.
+func (m *CategoryModel) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	defer f.Close()
+	if err := m.Save(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadCategoryModelFile reads a bundle from a file.
+func LoadCategoryModelFile(path string) (*CategoryModel, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	defer f.Close()
+	return LoadCategoryModel(f)
+}
+
+func bytesReader(b []byte) io.Reader { return bytes.NewReader(b) }
+
+// Evaluate returns the confusion matrix of the model's predictions
+// against ground-truth categories on a job slice — the per-category
+// view behind the Fig. 9b accuracy numbers.
+func (m *CategoryModel) Evaluate(jobs []*trace.Job, cm *cost.Model) *metrics.ConfusionMatrix {
+	cmx := metrics.NewConfusionMatrix(m.NumCategories())
+	var buf []float64
+	for _, j := range jobs {
+		var pred int
+		pred, buf = m.PredictInto(j, buf)
+		cmx.Add(m.Labeler.Label(j, cm), pred)
+	}
+	return cmx
+}

@@ -1,0 +1,130 @@
+package dataflow
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/desched"
+	"repro/internal/dfs"
+)
+
+// TestRunWithMatchesRunStandalone: under a scheduler with a single
+// process, RunWith must produce the same shuffle records as Run.
+func TestRunWithMatchesRunStandalone(t *testing.T) {
+	p := buildPipeline(t)
+	s := spec(t, p)
+
+	_, exA := newEnv(t, 1e12, dfs.StaticDecider(true))
+	repA, err := exA.Run(s, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	clusterB, _ := dfs.NewCluster(dfs.DefaultConfig(1e12), dfs.StaticDecider(true))
+	exB := NewExecutor(dfs.NewClient(clusterB), nil)
+	var repB *Report
+	des := desched.New()
+	des.Spawn(100, func(pr *desched.Proc) {
+		var err error
+		repB, err = exB.RunWith(s, pr.Now(), pr)
+		if err != nil {
+			t.Error(err)
+		}
+	})
+	des.Run()
+
+	if repB == nil {
+		t.Fatal("scheduled run produced nothing")
+	}
+	if len(repA.Shuffles) != len(repB.Shuffles) {
+		t.Fatalf("shuffle counts differ: %d vs %d", len(repA.Shuffles), len(repB.Shuffles))
+	}
+	for i := range repA.Shuffles {
+		a, b := repA.Shuffles[i], repB.Shuffles[i]
+		if math.Abs(a.Job.SizeBytes-b.Job.SizeBytes) > 1 ||
+			math.Abs(a.Job.WriteBytes-b.Job.WriteBytes) > 1 {
+			t.Errorf("shuffle %d differs between Run and RunWith", i)
+		}
+	}
+	if used := clusterB.SSDUsed(); used != 0 {
+		t.Errorf("SSD holds %g bytes after scheduled run", used)
+	}
+}
+
+// TestRetentionHoldsSpaceWithoutBlockingPipeline: a retained shuffle
+// keeps its SSD allocation past the stage's completion, and the
+// pipeline's own runtime is unaffected by retention.
+func TestRetentionHoldsSpaceWithoutBlockingPipeline(t *testing.T) {
+	prof := DefaultShuffleProfile()
+	prof.RetainSec = 10000
+	retained, err := NewPipeline("retained", "u").
+		GroupByKey("s", prof).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	noRetain := DefaultShuffleProfile()
+	plain, err := NewPipeline("plain", "u").
+		GroupByKey("s", noRetain).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(p *Pipeline) WorkloadSpec {
+		return WorkloadSpec{Pipeline: p, InputBytes: 1 << 28, NumWorkers: 4,
+			WorkerThreads: 2, RecordBytes: 512}
+	}
+
+	// Scheduled run: a probe process samples SSD usage after the
+	// retained pipeline's shuffle finished but before retention expires.
+	cluster, _ := dfs.NewCluster(dfs.DefaultConfig(1e12), dfs.StaticDecider(true))
+	ex := NewExecutor(dfs.NewClient(cluster), nil)
+	des := desched.New()
+	var repRetained *Report
+	des.Spawn(0, func(pr *desched.Proc) {
+		var err error
+		repRetained, err = ex.RunWith(mk(retained), 0, pr)
+		if err != nil {
+			t.Error(err)
+		}
+	})
+	var usedMid float64 = -1
+	des.Spawn(5000, func(pr *desched.Proc) {
+		usedMid = cluster.SSDUsed()
+	})
+	des.Run()
+
+	if repRetained == nil {
+		t.Fatal("no report")
+	}
+	if repRetained.Runtime() > 4000 {
+		t.Errorf("runtime %.0fs includes retention (should not)", repRetained.Runtime())
+	}
+	if usedMid <= 0 {
+		t.Errorf("retained file not holding SSD space at t=5000 (used=%g)", usedMid)
+	}
+	if used := cluster.SSDUsed(); used != 0 {
+		t.Errorf("space not released after retention: %g", used)
+	}
+
+	// Runtime parity: retention must not slow the pipeline itself.
+	cluster2, _ := dfs.NewCluster(dfs.DefaultConfig(1e12), dfs.StaticDecider(true))
+	ex2 := NewExecutor(dfs.NewClient(cluster2), nil)
+	repPlain, err := ex2.Run(mk(plain), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(repPlain.Runtime()-repRetained.Runtime()) > repPlain.Runtime()*0.05+1 {
+		t.Errorf("retention changed pipeline runtime: %.1fs vs %.1fs",
+			repRetained.Runtime(), repPlain.Runtime())
+	}
+}
+
+// TestNegativeRetentionRejected: builder validation.
+func TestNegativeRetentionRejected(t *testing.T) {
+	prof := DefaultShuffleProfile()
+	prof.RetainSec = -5
+	if _, err := NewPipeline("p", "u").GroupByKey("s", prof).Build(); err == nil {
+		t.Error("negative retention accepted")
+	}
+}

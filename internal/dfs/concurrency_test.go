@@ -1,0 +1,99 @@
+package dfs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestClusterConcurrentClients exercises the cluster from many
+// goroutines — the client library runs on every compute server in the
+// production design, so the caching-server path must be safe under
+// concurrency. (Run with -race to verify.)
+func TestClusterConcurrentClients(t *testing.T) {
+	c := testCluster(t, 1e9, StaticDecider(true))
+	const workers = 16
+	const filesPerWorker = 50
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			client := NewClient(c)
+			for i := 0; i < filesPerWorker; i++ {
+				name := fmt.Sprintf("w%d-f%d", w, i)
+				h, err := client.Create(name, 1e6, Hint{JobID: name, SizeBytes: 1e6}, float64(i))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if _, err := h.Write(float64(i), 1e6, 1e5); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := h.Read(float64(i), 5e5, 1e5, 0.2); err != nil {
+					errs <- err
+					return
+				}
+				if err := h.Delete(); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if used := c.SSDUsed(); used != 0 {
+		t.Errorf("SSD usage %g after all deletes", used)
+	}
+	m := c.Metrics()
+	if m.FilesCreated != workers*filesPerWorker || m.FilesDeleted != m.FilesCreated {
+		t.Errorf("metrics %+v", m)
+	}
+}
+
+// TestClusterAccountingConservation: SSD usage equals the sum of live
+// files' SSD bytes at every step of a random create/delete sequence.
+func TestClusterAccountingConservation(t *testing.T) {
+	c := testCluster(t, 5000, StaticDecider(true))
+	type live struct {
+		h    *FileHandle
+		size float64
+	}
+	var files []live
+	seq := 0
+	for step := 0; step < 200; step++ {
+		if step%3 != 2 {
+			seq++
+			name := fmt.Sprintf("f%d", seq)
+			size := 100 + float64(step%9)*150
+			h, err := c.Create(name, size, Hint{JobID: name, SizeBytes: size}, float64(step))
+			if err != nil {
+				t.Fatal(err)
+			}
+			files = append(files, live{h, size})
+		} else if len(files) > 0 {
+			f := files[0]
+			files = files[1:]
+			if err := f.h.Delete(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var wantMax float64
+		for _, f := range files {
+			wantMax += f.size
+		}
+		used := c.SSDUsed()
+		if used > wantMax+1e-9 {
+			t.Fatalf("step %d: used %g exceeds live total %g", step, used, wantMax)
+		}
+		if used < 0 {
+			t.Fatalf("step %d: negative usage", step)
+		}
+	}
+}

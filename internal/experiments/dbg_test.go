@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/dataflow"
+	"repro/internal/dfs"
+	"repro/internal/trace"
+)
+
+func TestDebugACT(t *testing.T) {
+	opts := DefaultOptions()
+	sched, err := buildFig5Schedule(opts.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm := cost.Default()
+	model, peak, _, err := trainPrototypeModel(sched, opts, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acfg := core.DefaultAdaptiveConfig(model.NumCategories())
+	acfg.DecisionIntervalSec = 120
+	acfg.LookBackSec = 600
+	acfg.RecordTrace = true
+	ad, err := dfs.NewAdaptiveDecider(acfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hinter := dataflow.HinterFunc(func(j *trace.Job) int { return model.Predict(j) })
+	res, err := runDeployment(sched, peak*0.01, ad, hinter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := ad.Trace()
+	fmt.Printf("decisions=%d peakUsed=%.2fGiB quota=%.2fGiB\n", len(tr), res.peakSSD/(1<<30), peak*0.01/(1<<30))
+	for i, p := range tr {
+		if i%5 == 0 {
+			fmt.Printf("t=%6.0f ACT=%2d spill=%.3f\n", p.At, p.ACT, p.Spillover)
+		}
+	}
+	// How many jobs admitted by category?
+	admitted := map[int]int{}
+	for _, rec := range res.records {
+		if rec.FracOnSSD > 0 {
+			admitted[rec.Category]++
+		}
+	}
+	fmt.Printf("admitted by category: %v\n", admitted)
+}

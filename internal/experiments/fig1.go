@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+)
+
+// Fig1Result reproduces Figure 1: two workloads' space usage and mean
+// job lifetime aggregated per hour over a 12-hour window, showing the
+// orders-of-magnitude diversity between workloads.
+type Fig1Result struct {
+	Workloads []Fig1Workload
+}
+
+// Fig1Workload is one workload's hourly series.
+type Fig1Workload struct {
+	Pipeline     string
+	SpacePiB     []float64 // space usage (PiB) per hour bucket
+	MeanLifetime []float64 // mean job lifetime (sec) per hour bucket
+}
+
+// Fig1 generates a cluster and extracts the two pipelines with the most
+// extreme mean-size ratio, binning 12 hours of activity.
+func Fig1(opts Options) (*Fig1Result, error) {
+	env := BuildEnv(0, opts)
+	jobs := env.Train.Jobs
+
+	// Mean size per pipeline.
+	sums := map[string]float64{}
+	counts := map[string]int{}
+	for _, j := range jobs {
+		sums[j.Pipeline] += j.SizeBytes
+		counts[j.Pipeline]++
+	}
+	var biggest, smallest string
+	for p := range sums {
+		if counts[p] < 12 {
+			continue // need enough activity to fill the series
+		}
+		mean := sums[p] / float64(counts[p])
+		if biggest == "" || mean > sums[biggest]/float64(counts[biggest]) {
+			biggest = p
+		}
+		if smallest == "" || mean < sums[smallest]/float64(counts[smallest]) {
+			smallest = p
+		}
+	}
+	if biggest == "" || smallest == "" || biggest == smallest {
+		return nil, fmt.Errorf("experiments: fig1 could not find two distinct active pipelines")
+	}
+
+	res := &Fig1Result{}
+	const hours = 12
+	for _, p := range []string{biggest, smallest} {
+		w := Fig1Workload{
+			Pipeline:     p,
+			SpacePiB:     make([]float64, hours),
+			MeanLifetime: make([]float64, hours),
+		}
+		lifeSum := make([]float64, hours)
+		lifeN := make([]int, hours)
+		for _, j := range jobs {
+			if j.Pipeline != p {
+				continue
+			}
+			h := int(j.ArrivalSec / 3600)
+			if h < 0 || h >= hours {
+				continue
+			}
+			w.SpacePiB[h] += j.SizeBytes / math.Pow(2, 50)
+			lifeSum[h] += j.LifetimeSec
+			lifeN[h]++
+		}
+		for h := 0; h < hours; h++ {
+			if lifeN[h] > 0 {
+				w.MeanLifetime[h] = lifeSum[h] / float64(lifeN[h])
+			}
+		}
+		res.Workloads = append(res.Workloads, w)
+	}
+	return res, nil
+}
+
+// DiversityRatio returns the ratio of the two workloads' peak space
+// usage — the paper's point is that this spans orders of magnitude.
+func (r *Fig1Result) DiversityRatio() float64 {
+	if len(r.Workloads) != 2 {
+		return 0
+	}
+	peak := func(xs []float64) float64 {
+		m := 0.0
+		for _, x := range xs {
+			if x > m {
+				m = x
+			}
+		}
+		return m
+	}
+	a := peak(r.Workloads[0].SpacePiB)
+	b := peak(r.Workloads[1].SpacePiB)
+	if b == 0 {
+		return math.Inf(1)
+	}
+	return a / b
+}
+
+// Render writes the hourly series as text.
+func (r *Fig1Result) Render(w io.Writer) {
+	for _, wl := range r.Workloads {
+		rows := make([][]string, len(wl.SpacePiB))
+		for h := range wl.SpacePiB {
+			rows[h] = []string{
+				fmt.Sprintf("%d", h),
+				fmt.Sprintf("%.3e", wl.SpacePiB[h]),
+				fmt.Sprintf("%.1f", wl.MeanLifetime[h]),
+			}
+		}
+		Table(w, "Fig 1 — workload "+wl.Pipeline, []string{"hour", "space(PiB)", "lifetime(s)"}, rows)
+	}
+	fmt.Fprintf(w, "peak-space diversity ratio: %.1fx\n", r.DiversityRatio())
+}

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"repro/internal/oracle"
+)
+
+// Fig4Result reproduces Figure 4: how the oracle's placement decisions
+// relate to jobs' I/O density and TCO savings under different SSD
+// quotas. The paper's reading: negative-savings jobs are never picked;
+// at tight quotas only the densest jobs are picked; as the quota grows,
+// lower-density jobs are admitted too — the motivation for the
+// density-quantile category design.
+type Fig4Result struct {
+	Cluster string
+	Quotas  []Fig4Quota
+}
+
+// Fig4Quota summarizes oracle decisions at one quota.
+type Fig4Quota struct {
+	QuotaFrac float64
+	// AdmitFracByDensityQuintile is the fraction of positive-savings
+	// jobs the oracle admits within each I/O density quintile
+	// (quintile 0 = least dense).
+	AdmitFracByDensityQuintile [5]float64
+	// NegativeAdmitted counts admitted negative-savings jobs (must be
+	// zero: the oracle never picks them).
+	NegativeAdmitted int
+	// MedianAdmittedDensity is the median I/O density of admitted jobs.
+	MedianAdmittedDensity float64
+}
+
+// Fig4 computes oracle decisions at three quotas.
+func Fig4(opts Options) (*Fig4Result, error) {
+	env := BuildEnv(0, opts)
+	res := &Fig4Result{Cluster: env.Cluster}
+
+	type jobInfo struct {
+		density float64
+		savings float64
+		id      string
+	}
+	infos := make([]jobInfo, len(env.Test.Jobs))
+	var positives []float64
+	for i, j := range env.Test.Jobs {
+		infos[i] = jobInfo{density: j.IODensity(), savings: env.Cost.Savings(j), id: j.ID}
+		if infos[i].savings >= 0 {
+			positives = append(positives, infos[i].density)
+		}
+	}
+	sort.Float64s(positives)
+	quintile := func(d float64) int {
+		idx := sort.SearchFloat64s(positives, d)
+		q := idx * 5 / (len(positives) + 1)
+		if q > 4 {
+			q = 4
+		}
+		return q
+	}
+
+	for _, frac := range []float64{0.01, 0.1, 0.5} {
+		quota := env.PeakUsage * frac
+		sol, err := oracle.Solve(env.Test.Jobs, quota, env.Cost, oracle.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		fq := Fig4Quota{QuotaFrac: frac}
+		var perQuintAdmit, perQuintTotal [5]int
+		var admittedDensities []float64
+		for _, info := range infos {
+			if info.savings < 0 {
+				if sol.OnSSD[info.id] {
+					fq.NegativeAdmitted++
+				}
+				continue
+			}
+			q := quintile(info.density)
+			perQuintTotal[q]++
+			if sol.OnSSD[info.id] {
+				perQuintAdmit[q]++
+				admittedDensities = append(admittedDensities, info.density)
+			}
+		}
+		for q := 0; q < 5; q++ {
+			if perQuintTotal[q] > 0 {
+				fq.AdmitFracByDensityQuintile[q] = float64(perQuintAdmit[q]) / float64(perQuintTotal[q])
+			}
+		}
+		if len(admittedDensities) > 0 {
+			sort.Float64s(admittedDensities)
+			fq.MedianAdmittedDensity = admittedDensities[len(admittedDensities)/2]
+		} else {
+			fq.MedianAdmittedDensity = math.NaN()
+		}
+		res.Quotas = append(res.Quotas, fq)
+	}
+	return res, nil
+}
+
+// Render writes the admit-fraction matrix.
+func (r *Fig4Result) Render(w io.Writer) {
+	rows := make([][]string, len(r.Quotas))
+	for i, q := range r.Quotas {
+		row := []string{fmt.Sprintf("%.0f%%", q.QuotaFrac*100)}
+		for _, f := range q.AdmitFracByDensityQuintile {
+			row = append(row, fmt.Sprintf("%.2f", f))
+		}
+		row = append(row, fmt.Sprintf("%d", q.NegativeAdmitted),
+			fmt.Sprintf("%.1f", q.MedianAdmittedDensity))
+		rows[i] = row
+	}
+	Table(w, "Fig 4 — oracle admit fraction by I/O density quintile",
+		[]string{"quota", "q0(low)", "q1", "q2", "q3", "q4(high)", "neg.admitted", "med.density"},
+		rows)
+}

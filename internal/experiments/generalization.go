@@ -1,0 +1,294 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/policy"
+	"repro/internal/trace"
+)
+
+// Fig8Result reproduces Figure 8: cross-workload generalization. A
+// category model trained on each of clusters C0..C3 is evaluated on
+// C0's test week across quotas. C3 is the pathological cluster running
+// only workloads rare elsewhere; its model should underperform, while
+// C1/C2 models should track the home-trained model.
+type Fig8Result struct {
+	Quotas []float64
+	// TCOPct["C1"] is the savings curve on C0 using the model trained
+	// on C1. "baseline" is the best non-BYOM baseline on C0.
+	TCOPct map[string][]float64
+}
+
+// Fig8 trains one model per cluster C0..C3 and evaluates all on C0.
+func Fig8(opts Options) (*Fig8Result, error) {
+	target := BuildEnv(0, opts)
+	res := &Fig8Result{Quotas: QuotaFractions, TCOPct: map[string][]float64{}}
+
+	models := map[string]*core.CategoryModel{}
+	for i := 0; i < 4; i++ {
+		env := BuildEnv(i, opts)
+		model, err := env.TrainModel(opts)
+		if err != nil {
+			return nil, fmt.Errorf("training on %s: %w", env.Cluster, err)
+		}
+		models[env.Cluster] = model
+	}
+
+	for _, frac := range res.Quotas {
+		quota := target.PeakUsage * frac
+		for cluster, model := range models {
+			suite, err := target.RunSuite(quota, SuiteConfig{Model: model})
+			if err != nil {
+				return nil, err
+			}
+			res.TCOPct["train "+cluster] = append(res.TCOPct["train "+cluster],
+				suite.TCOPercent(policy.NameAdaptiveRanking))
+			if cluster == "C0" {
+				res.TCOPct["baseline"] = append(res.TCOPct["baseline"], suite.BestBaselineTCO())
+			}
+		}
+	}
+	return res, nil
+}
+
+// Render writes the generalization curves.
+func (r *Fig8Result) Render(w io.Writer) {
+	keys := make([]string, 0, len(r.TCOPct))
+	for k := range r.TCOPct {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	header := []string{"series"}
+	for _, q := range r.Quotas {
+		header = append(header, fmt.Sprintf("%.1f%%", q*100))
+	}
+	var rows [][]string
+	for _, k := range keys {
+		row := []string{k}
+		for _, v := range r.TCOPct[k] {
+			row = append(row, fmt.Sprintf("%.2f", v))
+		}
+		rows = append(rows, row)
+	}
+	Table(w, "Fig 8 — workload generalization (all curves evaluated on C0)", header, rows)
+}
+
+// Fig10Result reproduces Figure 10: generalization to new users and new
+// pipelines. For each cluster, the second-largest TCO user (or
+// pipeline) is withheld from training; the with/without curves should
+// nearly coincide.
+type Fig10Result struct {
+	Mode     string // "user" or "pipeline"
+	Clusters []Fig10Cluster
+}
+
+// Fig10Cluster is one cluster's with/without comparison.
+type Fig10Cluster struct {
+	Cluster  string
+	Withheld string // which user/pipeline was excluded
+	Quotas   []float64
+	With     []float64
+	Without  []float64
+}
+
+// Fig10 runs the leave-out experiment over numClusters clusters.
+// mode is "user" or "pipeline".
+func Fig10(opts Options, mode string, numClusters int) (*Fig10Result, error) {
+	if mode != "user" && mode != "pipeline" {
+		return nil, fmt.Errorf("experiments: fig10 mode %q", mode)
+	}
+	res := &Fig10Result{Mode: mode}
+	quotas := []float64{0.01, 0.05, 0.1, 0.25, 0.5, 1.0}
+	for i := 0; i < numClusters; i++ {
+		env := BuildEnv(i, opts)
+		withheld := secondLargestTCOGroup(env, mode)
+		if withheld == "" {
+			continue
+		}
+		keep := func(j *trace.Job) bool {
+			if mode == "user" {
+				return j.User != withheld
+			}
+			return j.Pipeline != withheld
+		}
+		trainWithout := env.Train.Filter(keep)
+		if len(trainWithout.Jobs) < 100 {
+			continue
+		}
+		withModel, err := env.TrainModel(opts)
+		if err != nil {
+			return nil, err
+		}
+		withoutModel, err := TrainModelOn(trainWithout.Jobs, env.Cost, opts)
+		if err != nil {
+			return nil, err
+		}
+		fc := Fig10Cluster{Cluster: env.Cluster, Withheld: withheld, Quotas: quotas}
+		for _, frac := range quotas {
+			quota := env.PeakUsage * frac
+			sw, err := env.RunSuite(quota, SuiteConfig{Model: withModel})
+			if err != nil {
+				return nil, err
+			}
+			so, err := env.RunSuite(quota, SuiteConfig{Model: withoutModel})
+			if err != nil {
+				return nil, err
+			}
+			fc.With = append(fc.With, sw.TCOPercent(policy.NameAdaptiveRanking))
+			fc.Without = append(fc.Without, so.TCOPercent(policy.NameAdaptiveRanking))
+		}
+		res.Clusters = append(res.Clusters, fc)
+	}
+	if len(res.Clusters) == 0 {
+		return nil, fmt.Errorf("experiments: fig10 found no eligible clusters")
+	}
+	return res, nil
+}
+
+// secondLargestTCOGroup returns the user/pipeline with the
+// second-largest total TCO in the cluster's test half.
+func secondLargestTCOGroup(env *Env, mode string) string {
+	totals := map[string]float64{}
+	for _, j := range env.Test.Jobs {
+		key := j.User
+		if mode == "pipeline" {
+			key = j.Pipeline
+		}
+		totals[key] += env.Cost.TCOHDD(j)
+	}
+	type kv struct {
+		k string
+		v float64
+	}
+	var items []kv
+	for k, v := range totals {
+		items = append(items, kv{k, v})
+	}
+	sort.Slice(items, func(a, b int) bool {
+		if items[a].v != items[b].v {
+			return items[a].v > items[b].v
+		}
+		return items[a].k < items[b].k
+	})
+	if len(items) < 2 {
+		return ""
+	}
+	return items[1].k
+}
+
+// MaxRelativeGap returns the largest |with-without| gap relative to the
+// with-curve value, across all clusters and quotas.
+func (r *Fig10Result) MaxRelativeGap() float64 {
+	gap := 0.0
+	for _, c := range r.Clusters {
+		for i := range c.With {
+			if c.With[i] <= 0 {
+				continue
+			}
+			d := c.With[i] - c.Without[i]
+			if d < 0 {
+				d = -d
+			}
+			if rel := d / c.With[i]; rel > gap {
+				gap = rel
+			}
+		}
+	}
+	return gap
+}
+
+// Render writes per-cluster with/without curves.
+func (r *Fig10Result) Render(w io.Writer) {
+	for _, c := range r.Clusters {
+		var rows [][]string
+		for i, q := range c.Quotas {
+			rows = append(rows, []string{
+				fmt.Sprintf("%.0f%%", q*100),
+				fmt.Sprintf("%.3f", c.With[i]),
+				fmt.Sprintf("%.3f", c.Without[i]),
+			})
+		}
+		Table(w, fmt.Sprintf("Fig 10 — new %s generalization, cluster %s (withheld %s)",
+			r.Mode, c.Cluster, c.Withheld),
+			[]string{"quota", "train with", "train without"}, rows)
+	}
+	fmt.Fprintf(w, "max relative gap: %.1f%%\n", r.MaxRelativeGap()*100)
+}
+
+// Fig16Result reproduces Figure 16 (Appendix C.3): the dynamics of the
+// category admission threshold and spillover percentage over the test
+// window at four quotas.
+type Fig16Result struct {
+	Cluster string
+	Series  []Fig16Series
+}
+
+// Fig16Series is the controller trace at one quota.
+type Fig16Series struct {
+	QuotaFrac float64
+	Points    []core.ACTPoint
+	TCOPct    float64
+}
+
+// Fig16 records ACT dynamics at the paper's four quota settings.
+func Fig16(opts Options) (*Fig16Result, error) {
+	env := BuildEnv(0, opts)
+	model, err := env.TrainModel(opts)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig16Result{Cluster: env.Cluster}
+	for _, frac := range []float64{0.0001, 0.01, 0.1, 0.5} {
+		r, trace, err := env.RunRankingWithTrace(env.PeakUsage*frac, model)
+		if err != nil {
+			return nil, err
+		}
+		res.Series = append(res.Series, Fig16Series{
+			QuotaFrac: frac,
+			Points:    trace,
+			TCOPct:    r.TCOSavingsPercent(),
+		})
+	}
+	return res, nil
+}
+
+// MeanACT returns the time-averaged ACT of a series.
+func (s *Fig16Series) MeanACT() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, p := range s.Points {
+		sum += float64(p.ACT)
+	}
+	return sum / float64(len(s.Points))
+}
+
+// Render writes a compact summary per quota (full traces are large).
+func (r *Fig16Result) Render(w io.Writer) {
+	var rows [][]string
+	for _, s := range r.Series {
+		maxACT, maxSpill := 0, 0.0
+		for _, p := range s.Points {
+			if p.ACT > maxACT {
+				maxACT = p.ACT
+			}
+			if p.Spillover > maxSpill {
+				maxSpill = p.Spillover
+			}
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%.2f%%", s.QuotaFrac*100),
+			fmt.Sprintf("%d", len(s.Points)),
+			fmt.Sprintf("%.2f", s.MeanACT()),
+			fmt.Sprintf("%d", maxACT),
+			fmt.Sprintf("%.2f", maxSpill),
+			fmt.Sprintf("%.3f", s.TCOPct),
+		})
+	}
+	Table(w, "Fig 16 — adaptive threshold dynamics, cluster "+r.Cluster,
+		[]string{"quota", "decisions", "mean ACT", "max ACT", "max spill", "TCO%"}, rows)
+}

@@ -1,0 +1,345 @@
+// Package features converts shuffle jobs into model feature rows
+// following the paper's Table 2 schema. Features fall into the four
+// groups the paper analyzes in Fig. 9c:
+//
+//	A — historical system metrics (averages over past executions)
+//	B — execution metadata (strings; key elements separated by
+//	    non-alphanumeric characters are treated as token sequences)
+//	C — allocated resources (scheduler-assigned, known before start)
+//	T — job timestamps (weekday, hour, second of day)
+//
+// String features are encoded against a vocabulary built on the
+// training set; unseen strings map to a reserved unknown id, which is
+// what lets a trained model generalize to new users and pipelines
+// (Fig. 10).
+package features
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/gbdt"
+	"repro/internal/trace"
+)
+
+// Feature group labels (Fig. 9c).
+const (
+	GroupHistory   = "A"
+	GroupMetadata  = "B"
+	GroupResources = "C"
+	GroupTimestamp = "T"
+)
+
+// UnknownID is the categorical id reserved for strings absent from the
+// training vocabulary.
+const UnknownID = 0
+
+// Tokenize splits an execution-metadata string into its key elements:
+// maximal runs of alphanumeric characters (the paper: "key elements are
+// separated by non-alphanumeric characters").
+func Tokenize(s string) []string {
+	var tokens []string
+	var b strings.Builder
+	flush := func() {
+		if b.Len() > 0 {
+			tokens = append(tokens, b.String())
+			b.Reset()
+		}
+	}
+	for _, r := range s {
+		if r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' {
+			b.WriteRune(r)
+		} else {
+			flush()
+		}
+	}
+	flush()
+	return tokens
+}
+
+// metadataFields enumerates the five string features of Table 2 with
+// accessors.
+var metadataFields = []struct {
+	name string
+	get  func(*trace.Metadata) string
+}{
+	{"build_target_name", func(m *trace.Metadata) string { return m.BuildTargetName }},
+	{"execution_name", func(m *trace.Metadata) string { return m.ExecutionName }},
+	{"pipeline_name", func(m *trace.Metadata) string { return m.PipelineName }},
+	{"step_name", func(m *trace.Metadata) string { return m.StepName }},
+	{"user_name", func(m *trace.Metadata) string { return m.UserName }},
+}
+
+// tokensPerField is how many leading tokens of each metadata string get
+// their own categorical feature (in addition to the full string).
+const tokensPerField = 2
+
+// Encoder maps jobs to numeric feature rows. Two modes exist:
+//
+//   - vocabulary mode (BuildEncoder): string ids come from tables frozen
+//     at training time; unseen strings map to UnknownID. Interpretable,
+//     but the tables must ship with the model.
+//   - hashing mode (BuildHashingEncoder): string ids are FNV hashes into
+//     a fixed bucket count. No training state, unbounded vocabularies,
+//     new strings still land in informative (if collision-prone)
+//     buckets — the usual production choice when the string space grows
+//     without bound.
+type Encoder struct {
+	// Vocabs holds one string->id table per categorical feature, in
+	// schema order of the categorical features. Id 0 is reserved for
+	// unknown values. Empty in hashing mode.
+	Vocabs []map[string]int `json:"vocabs"`
+	// HashBuckets > 0 selects hashing mode with that many buckets per
+	// string feature.
+	HashBuckets int `json:"hash_buckets,omitempty"`
+	schema      *gbdt.Schema
+}
+
+// numericFeatures lists (name, group) of the numeric features in order.
+var numericFeatures = []struct{ name, group string }{
+	{"average_tcio", GroupHistory},
+	{"average_size", GroupHistory},
+	{"average_lifetime", GroupHistory},
+	{"average_io_density", GroupHistory},
+	{"history_num_runs", GroupHistory},
+	{"bucket_sizing_initial_num_stripes", GroupResources},
+	{"bucket_sizing_num_shards", GroupResources},
+	{"bucket_sizing_num_worker_threads", GroupResources},
+	{"bucket_sizing_num_workers", GroupResources},
+	{"initial_num_buckets", GroupResources},
+	{"num_buckets", GroupResources},
+	{"records_written", GroupResources},
+	{"requested_num_shards", GroupResources},
+	{"open_time_day_hour", GroupTimestamp},
+	{"open_time_seconds", GroupTimestamp},
+}
+
+// categoricalFeatureNames returns the names of categorical features in
+// schema order: weekday, then per metadata field the full string plus
+// its leading tokens.
+func categoricalFeatureNames() []struct{ name, group string } {
+	out := []struct{ name, group string }{{"open_time_weekday", GroupTimestamp}}
+	for _, f := range metadataFields {
+		out = append(out, struct{ name, group string }{f.name, GroupMetadata})
+		for t := 0; t < tokensPerField; t++ {
+			out = append(out, struct{ name, group string }{
+				fmt.Sprintf("%s_token%d", f.name, t), GroupMetadata})
+		}
+	}
+	return out
+}
+
+// categoricalValues extracts the raw string values of all categorical
+// features of a job except weekday (which is encoded directly).
+func categoricalValues(j *trace.Job) []string {
+	out := make([]string, 0, len(metadataFields)*(1+tokensPerField))
+	for _, f := range metadataFields {
+		s := f.get(&j.Meta)
+		out = append(out, s)
+		tokens := Tokenize(s)
+		for t := 0; t < tokensPerField; t++ {
+			if t < len(tokens) {
+				out = append(out, tokens[t])
+			} else {
+				out = append(out, "")
+			}
+		}
+	}
+	return out
+}
+
+// BuildEncoder constructs vocabularies from the training jobs. maxVocab
+// caps each vocabulary's size (most frequent strings are kept); id 0 is
+// reserved for unknown.
+func BuildEncoder(jobs []*trace.Job, maxVocab int) *Encoder {
+	if maxVocab <= 1 {
+		maxVocab = 2048
+	}
+	catNames := categoricalFeatureNames()
+	nStringFeatures := len(catNames) - 1 // weekday is not vocab-encoded
+	countsPerFeature := make([]map[string]int, nStringFeatures)
+	for i := range countsPerFeature {
+		countsPerFeature[i] = map[string]int{}
+	}
+	for _, j := range jobs {
+		for i, v := range categoricalValues(j) {
+			countsPerFeature[i][v]++
+		}
+	}
+	enc := &Encoder{Vocabs: make([]map[string]int, nStringFeatures)}
+	for i, counts := range countsPerFeature {
+		vocab := make(map[string]int, len(counts)+1)
+		// Keep the most frequent strings; deterministic order by
+		// (count desc, string asc).
+		items := make([]vocabEntry, 0, len(counts))
+		for s, n := range counts {
+			items = append(items, vocabEntry{s, n})
+		}
+		sort.Slice(items, func(a, b int) bool {
+			if items[a].n != items[b].n {
+				return items[a].n > items[b].n
+			}
+			return items[a].s < items[b].s
+		})
+		limit := maxVocab - 1
+		for rank, it := range items {
+			if rank >= limit {
+				break
+			}
+			vocab[it.s] = rank + 1 // 0 reserved for unknown
+		}
+		enc.Vocabs[i] = vocab
+	}
+	enc.buildSchema()
+	return enc
+}
+
+// vocabEntry pairs a string with its training-set frequency.
+type vocabEntry struct {
+	s string
+	n int
+}
+
+// BuildHashingEncoder constructs a stateless encoder that hashes string
+// features into the given number of buckets (>= 2).
+func BuildHashingEncoder(buckets int) (*Encoder, error) {
+	if buckets < 2 {
+		return nil, fmt.Errorf("features: need at least 2 hash buckets, got %d", buckets)
+	}
+	e := &Encoder{HashBuckets: buckets}
+	e.buildSchema()
+	return e, nil
+}
+
+func hashBucket(s string, buckets int) int {
+	if s == "" {
+		return 0
+	}
+	h := fnv.New32a()
+	h.Write([]byte(s))
+	return 1 + int(h.Sum32()%uint32(buckets-1))
+}
+
+func (e *Encoder) buildSchema() {
+	s := &gbdt.Schema{}
+	for _, f := range numericFeatures {
+		s.Names = append(s.Names, f.name)
+		s.Kinds = append(s.Kinds, gbdt.Numeric)
+		s.Cards = append(s.Cards, 0)
+		s.Groups = append(s.Groups, f.group)
+	}
+	catNames := categoricalFeatureNames()
+	for i, f := range catNames {
+		s.Names = append(s.Names, f.name)
+		s.Kinds = append(s.Kinds, gbdt.Categorical)
+		switch {
+		case i == 0:
+			s.Cards = append(s.Cards, 7) // weekday
+		case e.HashBuckets > 0:
+			s.Cards = append(s.Cards, e.HashBuckets)
+		default:
+			s.Cards = append(s.Cards, len(e.Vocabs[i-1])+1)
+		}
+		s.Groups = append(s.Groups, f.group)
+	}
+	e.schema = s
+}
+
+// Schema returns the gbdt schema of encoded rows.
+func (e *Encoder) Schema() *gbdt.Schema { return e.schema }
+
+// NumFeatures returns the row width.
+func (e *Encoder) NumFeatures() int { return e.schema.NumFeatures() }
+
+// Encode writes the job's feature row into buf (allocating if needed)
+// and returns it.
+func (e *Encoder) Encode(j *trace.Job, buf []float64) []float64 {
+	nf := e.NumFeatures()
+	if cap(buf) < nf {
+		buf = make([]float64, nf)
+	}
+	buf = buf[:nf]
+	i := 0
+	put := func(v float64) { buf[i] = v; i++ }
+
+	// Group A.
+	put(j.History.AvgTCIO)
+	put(j.History.AvgSizeBytes)
+	put(j.History.AvgLifetime)
+	put(j.History.AvgIODensity)
+	put(float64(j.History.NumRuns))
+	// Group C.
+	put(float64(j.Resources.BucketSizingInitialNumStripes))
+	put(float64(j.Resources.BucketSizingNumShards))
+	put(float64(j.Resources.BucketSizingNumWorkerThreads))
+	put(float64(j.Resources.BucketSizingNumWorkers))
+	put(float64(j.Resources.InitialNumBuckets))
+	put(float64(j.Resources.NumBuckets))
+	put(float64(j.Resources.RecordsWritten))
+	put(float64(j.Resources.RequestedNumShards))
+	// Group T numeric.
+	put(float64(j.HourOfDay()))
+	put(j.SecondOfDay())
+	// Weekday (categorical, direct encoding).
+	put(float64(j.Weekday()))
+	// Metadata strings: vocabulary lookup or hashing.
+	for v, s := range categoricalValues(j) {
+		var id int
+		if e.HashBuckets > 0 {
+			id = hashBucket(s, e.HashBuckets)
+		} else if mapped, ok := e.Vocabs[v][s]; ok {
+			id = mapped
+		} else {
+			id = UnknownID
+		}
+		put(float64(id))
+	}
+	return buf
+}
+
+// Dataset encodes a job slice into a gbdt dataset.
+func (e *Encoder) Dataset(jobs []*trace.Job) *gbdt.Dataset {
+	ds := gbdt.NewDataset(e.schema, len(jobs))
+	row := make([]float64, e.NumFeatures())
+	for r, j := range jobs {
+		row = e.Encode(j, row)
+		for c, v := range row {
+			ds.Set(r, c, v)
+		}
+	}
+	return ds
+}
+
+// FeatureGroups returns the group label of every feature, aligned with
+// the schema.
+func (e *Encoder) FeatureGroups() []string { return e.schema.Groups }
+
+// Save serializes the encoder as JSON.
+func (e *Encoder) Save(w io.Writer) error {
+	if err := json.NewEncoder(w).Encode(e); err != nil {
+		return fmt.Errorf("features: encode: %w", err)
+	}
+	return nil
+}
+
+// LoadEncoder reads an encoder written by Save and rebuilds its schema.
+func LoadEncoder(r io.Reader) (*Encoder, error) {
+	var e Encoder
+	if err := json.NewDecoder(r).Decode(&e); err != nil {
+		return nil, fmt.Errorf("features: decode: %w", err)
+	}
+	if e.HashBuckets == 0 {
+		want := len(categoricalFeatureNames()) - 1
+		if len(e.Vocabs) != want {
+			return nil, fmt.Errorf("features: encoder has %d vocabularies, want %d", len(e.Vocabs), want)
+		}
+	} else if e.HashBuckets < 2 {
+		return nil, fmt.Errorf("features: encoder has %d hash buckets", e.HashBuckets)
+	}
+	e.buildSchema()
+	return &e, nil
+}

@@ -1,0 +1,305 @@
+package features
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/gbdt"
+	"repro/internal/trace"
+)
+
+func TestTokenize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"//storage/x:build_manager", []string{"storage", "x", "build", "manager"}},
+		{"com.example.query.launcher.Main", []string{"com", "example", "query", "launcher", "Main"}},
+		{"", nil},
+		{"---", nil},
+		{"abc", []string{"abc"}},
+		{"GroupByKey-22", []string{"GroupByKey", "22"}},
+	}
+	for _, c := range cases {
+		if got := Tokenize(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func sampleJobs() []*trace.Job {
+	cfg := trace.DefaultGeneratorConfig("C0", 101)
+	cfg.DurationSec = 24 * 3600
+	return trace.NewGenerator(cfg).Generate().Jobs
+}
+
+func TestBuildEncoderSchema(t *testing.T) {
+	jobs := sampleJobs()
+	enc := BuildEncoder(jobs, 0)
+	s := enc.Schema()
+	if err := s.Validate(); err != nil {
+		t.Fatalf("schema invalid: %v", err)
+	}
+	if s.NumFeatures() != enc.NumFeatures() {
+		t.Fatalf("feature count mismatch")
+	}
+	// Check group coverage: all four groups must be present.
+	groups := map[string]int{}
+	for _, g := range s.Groups {
+		groups[g]++
+	}
+	for _, g := range []string{GroupHistory, GroupMetadata, GroupResources, GroupTimestamp} {
+		if groups[g] == 0 {
+			t.Errorf("no features in group %s", g)
+		}
+	}
+	// Table 2 has 4 history + 8 resources + 3 timestamps + 5 metadata
+	// fields; we add num_runs and per-field tokens.
+	if groups[GroupHistory] != 5 || groups[GroupResources] != 8 || groups[GroupTimestamp] != 3 {
+		t.Errorf("group counts = %v", groups)
+	}
+}
+
+func TestEncodeDeterministicAndInRange(t *testing.T) {
+	jobs := sampleJobs()
+	enc := BuildEncoder(jobs, 0)
+	s := enc.Schema()
+	row1 := enc.Encode(jobs[0], nil)
+	row2 := enc.Encode(jobs[0], nil)
+	if !reflect.DeepEqual(row1, row2) {
+		t.Fatal("encoding not deterministic")
+	}
+	for _, j := range jobs[:100] {
+		row := enc.Encode(j, nil)
+		for f, v := range row {
+			if s.Kinds[f] == gbdt.Categorical {
+				if v < 0 || int(v) >= s.Cards[f] {
+					t.Fatalf("feature %s value %g outside cardinality %d", s.Names[f], v, s.Cards[f])
+				}
+			}
+		}
+	}
+}
+
+func TestEncodeUnseenStringsMapToUnknown(t *testing.T) {
+	jobs := sampleJobs()
+	enc := BuildEncoder(jobs, 0)
+	// Every token here must be absent from generated metadata (which
+	// uses tokens like "com", "production", "GroupByKey").
+	novel := *jobs[0]
+	novel.Meta = trace.Metadata{
+		BuildTargetName: "//zzalpha/zzbeta:zzgamma",
+		ExecutionName:   "zzdelta.zzepsilon.ZzMain",
+		PipelineName:    "zzeta_pipelinezz",
+		StepName:        "zzmystery-zzstep",
+		UserName:        "ZzOp-9999",
+	}
+	row := enc.Encode(&novel, nil)
+	s := enc.Schema()
+	// All metadata-group categorical features must be UnknownID.
+	sawMetadata := false
+	for f := range row {
+		if s.Groups[f] == GroupMetadata {
+			sawMetadata = true
+			if row[f] != UnknownID {
+				t.Errorf("unseen metadata feature %s encoded as %g, want %d",
+					s.Names[f], row[f], UnknownID)
+			}
+		}
+	}
+	if !sawMetadata {
+		t.Fatal("no metadata features found")
+	}
+}
+
+func TestVocabCapRespected(t *testing.T) {
+	jobs := sampleJobs()
+	enc := BuildEncoder(jobs, 4)
+	for i, v := range enc.Vocabs {
+		if len(v) > 3 { // cap 4 includes the reserved unknown id
+			t.Errorf("vocab %d has %d entries, cap 4 allows 3", i, len(v))
+		}
+		for _, id := range v {
+			if id == UnknownID {
+				t.Errorf("vocab %d assigned reserved unknown id", i)
+			}
+		}
+	}
+}
+
+func TestDatasetMatchesEncode(t *testing.T) {
+	jobs := sampleJobs()[:50]
+	enc := BuildEncoder(jobs, 0)
+	ds := enc.Dataset(jobs)
+	if ds.N != len(jobs) {
+		t.Fatalf("dataset rows = %d", ds.N)
+	}
+	if err := ds.Validate(); err != nil {
+		t.Fatalf("dataset invalid: %v", err)
+	}
+	row := make([]float64, enc.NumFeatures())
+	for i, j := range jobs {
+		row = enc.Encode(j, row)
+		for f, v := range row {
+			if ds.Cols[f][i] != v {
+				t.Fatalf("dataset[%d][%d] = %g, Encode = %g", i, f, ds.Cols[f][i], v)
+			}
+		}
+	}
+}
+
+func TestEncoderSerializationRoundTrip(t *testing.T) {
+	jobs := sampleJobs()
+	enc := BuildEncoder(jobs, 64)
+	var buf bytes.Buffer
+	if err := enc.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	got, err := LoadEncoder(&buf)
+	if err != nil {
+		t.Fatalf("LoadEncoder: %v", err)
+	}
+	r1 := enc.Encode(jobs[3], nil)
+	r2 := got.Encode(jobs[3], nil)
+	if !reflect.DeepEqual(r1, r2) {
+		t.Error("encoding differs after round trip")
+	}
+	if got.Schema().NumFeatures() != enc.Schema().NumFeatures() {
+		t.Error("schema differs after round trip")
+	}
+}
+
+func TestLoadEncoderRejectsCorrupt(t *testing.T) {
+	if _, err := LoadEncoder(bytes.NewBufferString("nope")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := LoadEncoder(bytes.NewBufferString(`{"vocabs":[{}]}`)); err == nil {
+		t.Error("wrong vocab count accepted")
+	}
+}
+
+func TestHistoryFeaturesEncoded(t *testing.T) {
+	jobs := sampleJobs()
+	enc := BuildEncoder(jobs, 0)
+	s := enc.Schema()
+	var j *trace.Job
+	for _, cand := range jobs {
+		if cand.History.NumRuns > 0 {
+			j = cand
+			break
+		}
+	}
+	if j == nil {
+		t.Skip("no job with history")
+	}
+	row := enc.Encode(j, nil)
+	idx := map[string]int{}
+	for f, n := range s.Names {
+		idx[n] = f
+	}
+	if row[idx["average_tcio"]] != j.History.AvgTCIO {
+		t.Errorf("average_tcio = %g, want %g", row[idx["average_tcio"]], j.History.AvgTCIO)
+	}
+	if row[idx["history_num_runs"]] != float64(j.History.NumRuns) {
+		t.Errorf("history_num_runs = %g, want %d", row[idx["history_num_runs"]], j.History.NumRuns)
+	}
+	if row[idx["open_time_weekday"]] != float64(j.Weekday()) {
+		t.Errorf("weekday = %g, want %d", row[idx["open_time_weekday"]], j.Weekday())
+	}
+}
+
+func TestHashingEncoderConsistency(t *testing.T) {
+	enc, err := BuildHashingEncoder(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildHashingEncoder(1); err == nil {
+		t.Error("1 bucket accepted")
+	}
+	jobs := sampleJobs()
+	s := enc.Schema()
+	if err := s.Validate(); err != nil {
+		t.Fatalf("hashing schema invalid: %v", err)
+	}
+	r1 := enc.Encode(jobs[0], nil)
+	r2 := enc.Encode(jobs[0], nil)
+	if !reflect.DeepEqual(r1, r2) {
+		t.Fatal("hashing encoder not deterministic")
+	}
+	// Unseen strings land in nonzero buckets (no training required).
+	novel := *jobs[0]
+	novel.Meta.PipelineName = "zz-never-seen-zz"
+	row := enc.Encode(&novel, nil)
+	for f := range row {
+		if s.Kinds[f] == gbdt.Categorical && (row[f] < 0 || int(row[f]) >= s.Cards[f]) {
+			t.Fatalf("hashed id %g outside cardinality %d", row[f], s.Cards[f])
+		}
+	}
+}
+
+func TestHashingEncoderSerialization(t *testing.T) {
+	enc, err := BuildHashingEncoder(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := enc.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadEncoder(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := sampleJobs()
+	if !reflect.DeepEqual(enc.Encode(jobs[1], nil), got.Encode(jobs[1], nil)) {
+		t.Error("hashing encoder round trip changed encodings")
+	}
+	if _, err := LoadEncoder(bytes.NewBufferString(`{"hash_buckets":1}`)); err == nil {
+		t.Error("1-bucket encoder accepted at load")
+	}
+}
+
+func TestHashingEncoderLearnable(t *testing.T) {
+	// A model over hashed features should separate two metadata-defined
+	// classes nearly as well as the vocabulary encoder.
+	jobs := sampleJobs()
+	enc, err := BuildHashingEncoder(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := enc.Dataset(jobs)
+	labels := make([]int, len(jobs))
+	for i, j := range jobs {
+		if strings.Contains(j.Pipeline, "query") || strings.Contains(j.Pipeline, "streaming") {
+			labels[i] = 1
+		}
+	}
+	hasPos := false
+	for _, l := range labels {
+		if l == 1 {
+			hasPos = true
+		}
+	}
+	if !hasPos {
+		t.Skip("sample contains no hot pipelines")
+	}
+	cfg := gbdt.DefaultConfig()
+	cfg.NumRounds = 8
+	m, err := gbdt.TrainClassifier(ds, labels, 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	row := make([]float64, enc.NumFeatures())
+	for i, j := range jobs {
+		row = enc.Encode(j, row)
+		if m.PredictClass(row) == labels[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(jobs)); acc < 0.95 {
+		t.Errorf("hashed-feature accuracy = %.3f, want >= 0.95", acc)
+	}
+}

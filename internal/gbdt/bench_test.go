@@ -1,0 +1,85 @@
+package gbdt
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchModel trains a model comparable to the paper's category models
+// (depth 6, multiclass) on synthetic data.
+func benchModel(b *testing.B, rows, classes, rounds int) (*Model, *Dataset) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	s := &Schema{
+		Names: []string{"x0", "x1", "x2", "x3", "cat"},
+		Kinds: []FeatureKind{Numeric, Numeric, Numeric, Numeric, Categorical},
+		Cards: []int{0, 0, 0, 0, 32},
+	}
+	ds := NewDataset(s, rows)
+	labels := make([]int, rows)
+	for i := 0; i < rows; i++ {
+		var sum float64
+		for f := 0; f < 4; f++ {
+			v := rng.NormFloat64()
+			ds.Set(i, f, v)
+			sum += v
+		}
+		c := rng.Intn(32)
+		ds.Set(i, 4, float64(c))
+		labels[i] = ((int(sum*2) % classes) + classes + c) % classes
+	}
+	cfg := DefaultConfig()
+	cfg.NumRounds = rounds
+	m, err := TrainClassifier(ds, labels, classes, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m, ds
+}
+
+// BenchmarkTrainClassifier measures multiclass training throughput.
+func BenchmarkTrainClassifier(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	rows := 4000
+	ds := NewDataset(numSchema(8), rows)
+	labels := make([]int, rows)
+	for i := 0; i < rows; i++ {
+		var sum float64
+		for f := 0; f < 8; f++ {
+			v := rng.NormFloat64()
+			ds.Set(i, f, v)
+			sum += v
+		}
+		labels[i] = ((int(sum) % 15) + 15) % 15
+	}
+	cfg := DefaultConfig()
+	cfg.NumRounds = 10
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := TrainClassifier(ds, labels, 15, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPredictClass measures single-row inference latency — the
+// paper's Fig. 9a concern (must be far below placement-decision
+// budgets).
+func BenchmarkPredictClass(b *testing.B) {
+	m, ds := benchModel(b, 4000, 15, 20)
+	row := ds.Row(0, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.PredictClass(row)
+	}
+}
+
+// BenchmarkPredictProba measures full probability inference.
+func BenchmarkPredictProba(b *testing.B) {
+	m, ds := benchModel(b, 4000, 15, 20)
+	row := ds.Row(0, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.PredictProba(row)
+	}
+}

@@ -1,0 +1,415 @@
+package gbdt
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Config holds the boosting hyperparameters. The paper's category models
+// use gradient-boosted trees with at most 300 trees and max depth 6.
+type Config struct {
+	// NumRounds is the number of boosting rounds (per round a
+	// classifier grows one tree per class).
+	NumRounds int `json:"num_rounds"`
+	MaxDepth  int `json:"max_depth"`
+	// LearningRate shrinks each tree's contribution.
+	LearningRate   float64 `json:"learning_rate"`
+	MinSamplesLeaf int     `json:"min_samples_leaf"`
+	// Lambda is the L2 regularizer on leaf weights.
+	Lambda float64 `json:"lambda"`
+	// Gamma is the minimum gain improvement required to split.
+	Gamma float64 `json:"gamma"`
+	// Subsample is the row-sampling fraction per tree (0 < s <= 1).
+	Subsample float64 `json:"subsample"`
+	// MaxBins bounds histogram bins per numeric feature.
+	MaxBins int   `json:"max_bins"`
+	Seed    int64 `json:"seed"`
+}
+
+// DefaultConfig returns hyperparameters that train the paper-scale
+// category models in seconds on a laptop-scale trace.
+func DefaultConfig() Config {
+	return Config{
+		NumRounds:      60,
+		MaxDepth:       6,
+		LearningRate:   0.15,
+		MinSamplesLeaf: 20,
+		Lambda:         1.0,
+		Gamma:          0.0,
+		Subsample:      0.8,
+		MaxBins:        64,
+		Seed:           1,
+	}
+}
+
+func (c *Config) validate() error {
+	switch {
+	case c.NumRounds <= 0:
+		return fmt.Errorf("gbdt: NumRounds must be positive, got %d", c.NumRounds)
+	case c.MaxDepth <= 0:
+		return fmt.Errorf("gbdt: MaxDepth must be positive, got %d", c.MaxDepth)
+	case c.LearningRate <= 0 || c.LearningRate > 1:
+		return fmt.Errorf("gbdt: LearningRate must be in (0, 1], got %g", c.LearningRate)
+	case c.Subsample <= 0 || c.Subsample > 1:
+		return fmt.Errorf("gbdt: Subsample must be in (0, 1], got %g", c.Subsample)
+	case c.MinSamplesLeaf < 1:
+		return fmt.Errorf("gbdt: MinSamplesLeaf must be >= 1, got %d", c.MinSamplesLeaf)
+	case c.MaxBins < 2:
+		return fmt.Errorf("gbdt: MaxBins must be >= 2, got %d", c.MaxBins)
+	}
+	return nil
+}
+
+// Model is a trained gradient-boosted trees model. For classification,
+// Trees[r][k] is the round-r tree for class k and prediction is softmax
+// over accumulated logits; for regression NumClasses == 1.
+type Model struct {
+	Schema     *Schema   `json:"schema"`
+	Config     Config    `json:"config"`
+	NumClasses int       `json:"num_classes"`
+	InitScores []float64 `json:"init_scores"`
+	Trees      [][]*Tree `json:"trees"`
+	// TrainLoss records the training loss after each round (logloss
+	// for classification, MSE for regression) — used by tests and the
+	// model-analysis experiments.
+	TrainLoss []float64 `json:"train_loss,omitempty"`
+	// ValLoss records per-round validation logloss when the model was
+	// trained with TrainClassifierWithValidation.
+	ValLoss []float64 `json:"val_loss,omitempty"`
+}
+
+// TrainClassifier fits a multiclass softmax model. labels must be in
+// [0, numClasses).
+func TrainClassifier(ds *Dataset, labels []int, numClasses int, cfg Config) (*Model, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	if numClasses < 2 {
+		return nil, fmt.Errorf("gbdt: need at least 2 classes, got %d", numClasses)
+	}
+	if len(labels) != ds.N {
+		return nil, fmt.Errorf("gbdt: %d labels for %d rows", len(labels), ds.N)
+	}
+	counts := make([]float64, numClasses)
+	for i, y := range labels {
+		if y < 0 || y >= numClasses {
+			return nil, fmt.Errorf("gbdt: label %d out of range at row %d", y, i)
+		}
+		counts[y]++
+	}
+	n := ds.N
+	if n == 0 {
+		return nil, fmt.Errorf("gbdt: empty dataset")
+	}
+
+	m := &Model{
+		Schema:     ds.Schema,
+		Config:     cfg,
+		NumClasses: numClasses,
+		InitScores: make([]float64, numClasses),
+	}
+	for k := range m.InitScores {
+		p := (counts[k] + 1) / (float64(n) + float64(numClasses)) // Laplace prior
+		m.InitScores[k] = math.Log(p)
+	}
+
+	bins := buildBinning(ds, cfg.MaxBins)
+	gr := &grower{bins: bins, schema: ds.Schema, cfg: cfg}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	logits := make([][]float64, n)
+	for i := range logits {
+		logits[i] = make([]float64, numClasses)
+		copy(logits[i], m.InitScores)
+	}
+	probs := make([]float64, numClasses)
+	g := make([]float64, n)
+	h := make([]float64, n)
+
+	for round := 0; round < cfg.NumRounds; round++ {
+		rows := sampleRows(n, cfg.Subsample, rng)
+		roundTrees := make([]*Tree, numClasses)
+		var loss float64
+		// Compute current probabilities once per row, reusing them for
+		// all class trees of this round.
+		probMat := make([][]float64, n)
+		for i := 0; i < n; i++ {
+			softmax(logits[i], probs)
+			probMat[i] = append([]float64(nil), probs...)
+			loss -= math.Log(math.Max(probMat[i][labels[i]], 1e-15))
+		}
+		m.TrainLoss = append(m.TrainLoss, loss/float64(n))
+
+		for k := 0; k < numClasses; k++ {
+			for i := 0; i < n; i++ {
+				p := probMat[i][k]
+				y := 0.0
+				if labels[i] == k {
+					y = 1
+				}
+				g[i] = p - y
+				h[i] = math.Max(p*(1-p), 1e-6)
+			}
+			roundTrees[k] = gr.growTree(rows, g, h)
+		}
+		// Apply updates after all class trees are grown (standard
+		// one-vs-rest round semantics).
+		row := make([]float64, ds.Schema.NumFeatures())
+		for i := 0; i < n; i++ {
+			row = ds.Row(i, row)
+			for k := 0; k < numClasses; k++ {
+				logits[i][k] += roundTrees[k].Predict(row)
+			}
+		}
+		m.Trees = append(m.Trees, roundTrees)
+	}
+	return m, nil
+}
+
+// TrainRegressor fits a squared-loss regression model.
+func TrainRegressor(ds *Dataset, targets []float64, cfg Config) (*Model, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	if len(targets) != ds.N {
+		return nil, fmt.Errorf("gbdt: %d targets for %d rows", len(targets), ds.N)
+	}
+	n := ds.N
+	if n == 0 {
+		return nil, fmt.Errorf("gbdt: empty dataset")
+	}
+	var mean float64
+	for _, t := range targets {
+		mean += t
+	}
+	mean /= float64(n)
+
+	m := &Model{
+		Schema:     ds.Schema,
+		Config:     cfg,
+		NumClasses: 1,
+		InitScores: []float64{mean},
+	}
+	bins := buildBinning(ds, cfg.MaxBins)
+	gr := &grower{bins: bins, schema: ds.Schema, cfg: cfg}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	preds := make([]float64, n)
+	for i := range preds {
+		preds[i] = mean
+	}
+	g := make([]float64, n)
+	h := make([]float64, n)
+	for round := 0; round < cfg.NumRounds; round++ {
+		var loss float64
+		for i := 0; i < n; i++ {
+			r := preds[i] - targets[i]
+			loss += r * r
+			g[i] = r
+			h[i] = 1
+		}
+		m.TrainLoss = append(m.TrainLoss, loss/float64(n))
+		rows := sampleRows(n, cfg.Subsample, rng)
+		tree := gr.growTree(rows, g, h)
+		row := make([]float64, ds.Schema.NumFeatures())
+		for i := 0; i < n; i++ {
+			row = ds.Row(i, row)
+			preds[i] += tree.Predict(row)
+		}
+		m.Trees = append(m.Trees, []*Tree{tree})
+	}
+	return m, nil
+}
+
+func sampleRows(n int, frac float64, rng *rand.Rand) []int32 {
+	if frac >= 1 {
+		rows := make([]int32, n)
+		for i := range rows {
+			rows[i] = int32(i)
+		}
+		return rows
+	}
+	rows := make([]int32, 0, int(float64(n)*frac)+1)
+	for i := 0; i < n; i++ {
+		if rng.Float64() < frac {
+			rows = append(rows, int32(i))
+		}
+	}
+	if len(rows) == 0 {
+		rows = append(rows, int32(rng.Intn(n)))
+	}
+	return rows
+}
+
+func softmax(logits, out []float64) {
+	maxL := logits[0]
+	for _, l := range logits[1:] {
+		if l > maxL {
+			maxL = l
+		}
+	}
+	var sum float64
+	for i, l := range logits {
+		e := math.Exp(l - maxL)
+		out[i] = e
+		sum += e
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+}
+
+// Logits computes the raw class scores for a feature row.
+func (m *Model) Logits(row []float64) []float64 {
+	out := make([]float64, m.NumClasses)
+	copy(out, m.InitScores)
+	for _, round := range m.Trees {
+		for k, tree := range round {
+			out[k] += tree.Predict(row)
+		}
+	}
+	return out
+}
+
+// PredictProba returns softmax class probabilities. Panics if the model
+// is a regressor.
+func (m *Model) PredictProba(row []float64) []float64 {
+	if m.NumClasses < 2 {
+		panic("gbdt: PredictProba on a regression model")
+	}
+	logits := m.Logits(row)
+	out := make([]float64, m.NumClasses)
+	softmax(logits, out)
+	return out
+}
+
+// PredictClass returns the argmax class.
+func (m *Model) PredictClass(row []float64) int {
+	logits := m.Logits(row)
+	best, bestV := 0, logits[0]
+	for k, v := range logits[1:] {
+		if v > bestV {
+			best, bestV = k+1, v
+		}
+	}
+	return best
+}
+
+// PredictValue returns the regression prediction. Panics if the model is
+// a classifier.
+func (m *Model) PredictValue(row []float64) float64 {
+	if m.NumClasses != 1 {
+		panic("gbdt: PredictValue on a classification model")
+	}
+	return m.Logits(row)[0]
+}
+
+// FeatureImportance returns gain-based importances normalized to sum to
+// 1 (all zeros if no split was ever made).
+func (m *Model) FeatureImportance() []float64 {
+	imp := make([]float64, m.Schema.NumFeatures())
+	for _, round := range m.Trees {
+		for _, tree := range round {
+			tree.AccumulateImportance(imp)
+		}
+	}
+	var total float64
+	for _, v := range imp {
+		total += v
+	}
+	if total > 0 {
+		for i := range imp {
+			imp[i] /= total
+		}
+	}
+	return imp
+}
+
+// NumTrees returns the total number of trees in the model.
+func (m *Model) NumTrees() int {
+	n := 0
+	for _, round := range m.Trees {
+		n += len(round)
+	}
+	return n
+}
+
+// ValidationConfig controls early stopping in
+// TrainClassifierWithValidation.
+type ValidationConfig struct {
+	// Patience is how many rounds without validation improvement are
+	// tolerated before stopping.
+	Patience int
+	// MinDelta is the minimum logloss improvement that counts.
+	MinDelta float64
+}
+
+// TrainClassifierWithValidation trains like TrainClassifier but
+// evaluates a held-out set after every round and stops early when the
+// validation logloss has not improved for vcfg.Patience rounds; the
+// returned model is truncated to the best round. ValLoss on the result
+// records the per-round validation loss.
+func TrainClassifierWithValidation(ds *Dataset, labels []int, numClasses int, cfg Config,
+	valDS *Dataset, valLabels []int, vcfg ValidationConfig) (*Model, error) {
+	if valDS == nil || valDS.N == 0 {
+		return nil, fmt.Errorf("gbdt: empty validation set")
+	}
+	if len(valLabels) != valDS.N {
+		return nil, fmt.Errorf("gbdt: %d validation labels for %d rows", len(valLabels), valDS.N)
+	}
+	if vcfg.Patience < 1 {
+		return nil, fmt.Errorf("gbdt: patience must be >= 1, got %d", vcfg.Patience)
+	}
+	m, err := TrainClassifier(ds, labels, numClasses, cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Replay rounds over the validation set, tracking logloss.
+	n := valDS.N
+	logits := make([][]float64, n)
+	rows := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		logits[i] = append([]float64(nil), m.InitScores...)
+		rows[i] = valDS.Row(i, nil)
+	}
+	probs := make([]float64, numClasses)
+	bestRound, bestLoss := -1, math.Inf(1)
+	sinceBest := 0
+	valLoss := make([]float64, 0, len(m.Trees))
+	for r, round := range m.Trees {
+		var loss float64
+		for i := 0; i < n; i++ {
+			for k, tree := range round {
+				logits[i][k] += tree.Predict(rows[i])
+			}
+			softmax(logits[i], probs)
+			loss -= math.Log(math.Max(probs[valLabels[i]], 1e-15))
+		}
+		loss /= float64(n)
+		valLoss = append(valLoss, loss)
+		if loss < bestLoss-vcfg.MinDelta {
+			bestLoss = loss
+			bestRound = r
+			sinceBest = 0
+		} else {
+			sinceBest++
+			if sinceBest >= vcfg.Patience {
+				break
+			}
+		}
+	}
+	if bestRound < 0 {
+		bestRound = 0
+	}
+	m.Trees = m.Trees[:bestRound+1]
+	m.TrainLoss = m.TrainLoss[:bestRound+1]
+	m.ValLoss = valLoss[:len(m.Trees)]
+	return m, nil
+}

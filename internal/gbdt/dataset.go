@@ -1,0 +1,251 @@
+// Package gbdt is a from-scratch gradient-boosted decision trees library,
+// the reproduction's stand-in for Yggdrasil Decision Forests (the model
+// family the paper uses for its category models). It supports numeric and
+// categorical features, multiclass softmax classification with Newton leaf
+// weights, squared-loss regression, histogram-based numeric splits,
+// gradient-ordered categorical splits, gain-based feature importances and
+// JSON serialization.
+package gbdt
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// FeatureKind distinguishes numeric from categorical features.
+type FeatureKind int
+
+const (
+	// Numeric features split on thresholds (x <= t goes left).
+	Numeric FeatureKind = iota
+	// Categorical features split on category subsets. Values must be
+	// non-negative integer ids stored as float64.
+	Categorical
+)
+
+// Schema describes the feature space of a dataset and model.
+type Schema struct {
+	Names []string      `json:"names"`
+	Kinds []FeatureKind `json:"kinds"`
+	// Cards holds the cardinality of each categorical feature (ids are
+	// in [0, card)); 0 for numeric features.
+	Cards []int `json:"cards"`
+	// Groups optionally tags each feature with a feature-group label
+	// (the paper's groups A/B/C/T); used by the importance analysis.
+	Groups []string `json:"groups,omitempty"`
+}
+
+// NumFeatures returns the number of features.
+func (s *Schema) NumFeatures() int { return len(s.Names) }
+
+// Validate checks internal consistency.
+func (s *Schema) Validate() error {
+	n := len(s.Names)
+	if len(s.Kinds) != n || len(s.Cards) != n {
+		return fmt.Errorf("gbdt: schema field lengths disagree: names=%d kinds=%d cards=%d",
+			n, len(s.Kinds), len(s.Cards))
+	}
+	if s.Groups != nil && len(s.Groups) != n {
+		return fmt.Errorf("gbdt: schema groups length %d != %d", len(s.Groups), n)
+	}
+	for i, k := range s.Kinds {
+		switch k {
+		case Numeric:
+			if s.Cards[i] != 0 {
+				return fmt.Errorf("gbdt: numeric feature %q has cardinality %d", s.Names[i], s.Cards[i])
+			}
+		case Categorical:
+			if s.Cards[i] <= 0 {
+				return fmt.Errorf("gbdt: categorical feature %q has cardinality %d", s.Names[i], s.Cards[i])
+			}
+		default:
+			return fmt.Errorf("gbdt: feature %q has unknown kind %d", s.Names[i], k)
+		}
+	}
+	return nil
+}
+
+// Dataset is a column-major feature matrix. Categorical values are
+// integer ids stored as float64; NaN marks missing numeric values
+// (treated as smaller than any threshold).
+type Dataset struct {
+	Schema *Schema
+	Cols   [][]float64
+	N      int
+}
+
+// NewDataset allocates an n-row dataset for the schema.
+func NewDataset(schema *Schema, n int) *Dataset {
+	cols := make([][]float64, schema.NumFeatures())
+	for i := range cols {
+		cols[i] = make([]float64, n)
+	}
+	return &Dataset{Schema: schema, Cols: cols, N: n}
+}
+
+// Set assigns one cell.
+func (d *Dataset) Set(row, col int, v float64) { d.Cols[col][row] = v }
+
+// Row copies row i into buf (allocating if buf is too small) and
+// returns it.
+func (d *Dataset) Row(i int, buf []float64) []float64 {
+	nf := len(d.Cols)
+	if cap(buf) < nf {
+		buf = make([]float64, nf)
+	}
+	buf = buf[:nf]
+	for f := 0; f < nf; f++ {
+		buf[f] = d.Cols[f][i]
+	}
+	return buf
+}
+
+// Validate checks that categorical columns contain in-range ids.
+func (d *Dataset) Validate() error {
+	if err := d.Schema.Validate(); err != nil {
+		return err
+	}
+	for f, kind := range d.Schema.Kinds {
+		if kind != Categorical {
+			continue
+		}
+		card := float64(d.Schema.Cards[f])
+		for i, v := range d.Cols[f] {
+			if math.IsNaN(v) {
+				continue // missing: routed to the right branch at prediction
+			}
+			if v < 0 || v >= card || v != math.Trunc(v) {
+				return fmt.Errorf("gbdt: feature %q row %d has invalid category %g (card %d)",
+					d.Schema.Names[f], i, v, d.Schema.Cards[f])
+			}
+		}
+	}
+	return nil
+}
+
+// binning precomputes, per feature, the mapping raw value -> bin index
+// used by histogram split finding. Numeric features get quantile bins
+// with stored upper boundaries (so trained thresholds apply to raw
+// values); categorical features use the category id as the bin.
+type binning struct {
+	// uppers[f] holds, for numeric feature f, the sorted list of bin
+	// upper-boundary values; bin b covers (uppers[b-1], uppers[b]].
+	// nil for categorical features.
+	uppers [][]float64
+	// numBins[f] is the number of bins for feature f.
+	numBins []int
+	// binned[f][i] is the bin index of row i for feature f. Missing
+	// numeric values get bin 0.
+	binned [][]int32
+}
+
+// buildBinning computes bins for the dataset with at most maxBins bins
+// per numeric feature.
+func buildBinning(d *Dataset, maxBins int) *binning {
+	nf := d.Schema.NumFeatures()
+	b := &binning{
+		uppers:  make([][]float64, nf),
+		numBins: make([]int, nf),
+		binned:  make([][]int32, nf),
+	}
+	for f := 0; f < nf; f++ {
+		col := d.Cols[f]
+		bins := make([]int32, d.N)
+		if d.Schema.Kinds[f] == Categorical {
+			for i, v := range col {
+				if math.IsNaN(v) {
+					bins[i] = 0
+				} else {
+					bins[i] = int32(v)
+				}
+			}
+			b.numBins[f] = d.Schema.Cards[f]
+			b.binned[f] = bins
+			continue
+		}
+		boundaries := numericBoundaries(col, maxBins)
+		b.uppers[f] = boundaries
+		b.numBins[f] = len(boundaries) + 1
+		for i, v := range col {
+			bins[i] = int32(findBin(boundaries, v))
+		}
+		b.binned[f] = bins
+	}
+	return b
+}
+
+// numericBoundaries picks up to maxBins-1 split boundaries between
+// distinct values at (approximately) uniform quantiles. Boundaries are
+// midpoints so that trained thresholds generalize to unseen values.
+func numericBoundaries(col []float64, maxBins int) []float64 {
+	vals := make([]float64, 0, len(col))
+	for _, v := range col {
+		if !math.IsNaN(v) {
+			vals = append(vals, v)
+		}
+	}
+	if len(vals) == 0 {
+		return nil
+	}
+	sort.Float64s(vals)
+	// Unique values.
+	uniq := vals[:1]
+	for _, v := range vals[1:] {
+		if v != uniq[len(uniq)-1] {
+			uniq = append(uniq, v)
+		}
+	}
+	if len(uniq) <= 1 {
+		return nil
+	}
+	nCuts := maxBins - 1
+	if nCuts > len(uniq)-1 {
+		nCuts = len(uniq) - 1
+	}
+	boundaries := make([]float64, 0, nCuts)
+	// Choose cut positions at uniform ranks over the full (non-unique)
+	// sample so bins are approximately equal-population.
+	prevIdx := -1
+	for c := 1; c <= nCuts; c++ {
+		rank := c * len(vals) / (nCuts + 1)
+		if rank >= len(vals) {
+			rank = len(vals) - 1
+		}
+		v := vals[rank]
+		// Find position of v in uniq.
+		idx := sort.SearchFloat64s(uniq, v)
+		if idx == 0 {
+			idx = 1
+		}
+		if idx <= prevIdx {
+			continue
+		}
+		prevIdx = idx
+		boundaries = append(boundaries, (uniq[idx-1]+uniq[idx])/2)
+	}
+	// Degenerate fallback: ensure at least one boundary exists.
+	if len(boundaries) == 0 {
+		boundaries = append(boundaries, (uniq[0]+uniq[1])/2)
+	}
+	return boundaries
+}
+
+// findBin returns the bin index of v given sorted upper boundaries;
+// bin b covers (boundaries[b-1], boundaries[b]]. NaN maps to bin 0.
+func findBin(boundaries []float64, v float64) int {
+	if math.IsNaN(v) {
+		return 0
+	}
+	// First boundary >= v.
+	lo, hi := 0, len(boundaries)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if boundaries[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

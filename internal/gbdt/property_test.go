@@ -1,0 +1,220 @@
+package gbdt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestTreePredictTotalProperty: every possible input row reaches
+// exactly one leaf — prediction never panics and returns a finite
+// value for arbitrary finite inputs.
+func TestTreePredictTotalProperty(t *testing.T) {
+	ds, labels := xorDataset(600, 21)
+	cfg := DefaultConfig()
+	cfg.NumRounds = 6
+	m, err := TrainClassifier(ds, labels, 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsInf(a, 0) || math.IsNaN(b) || math.IsInf(b, 0) {
+			return true
+		}
+		p := m.PredictProba([]float64{a, b})
+		return !math.IsNaN(p[0]) && !math.IsNaN(p[1])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestImportanceSumsToOne: gain-based importances are a distribution
+// whenever any split was made.
+func TestImportanceSumsToOne(t *testing.T) {
+	ds, labels := xorDataset(800, 22)
+	cfg := DefaultConfig()
+	cfg.NumRounds = 8
+	m, err := TrainClassifier(ds, labels, 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := m.FeatureImportance()
+	var sum float64
+	for _, v := range imp {
+		if v < 0 {
+			t.Fatalf("negative importance %g", v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("importances sum to %g", sum)
+	}
+}
+
+// TestMoreRoundsNeverHurtTraining: with full-batch training, adding
+// rounds cannot increase the final training loss.
+func TestMoreRoundsNeverHurtTraining(t *testing.T) {
+	ds, labels := xorDataset(500, 23)
+	last := math.Inf(1)
+	for _, rounds := range []int{2, 8, 20} {
+		cfg := DefaultConfig()
+		cfg.NumRounds = rounds
+		cfg.Subsample = 1
+		m, err := TrainClassifier(ds, labels, 2, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		final := m.TrainLoss[len(m.TrainLoss)-1]
+		if final > last+1e-9 {
+			t.Fatalf("%d rounds ended with loss %g > shorter run %g", rounds, final, last)
+		}
+		last = final
+	}
+}
+
+// TestRegressorWithCategoricalFeature: regression over a pure
+// categorical signal recovers per-category means.
+func TestRegressorWithCategoricalFeature(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	n := 3000
+	s := &Schema{Names: []string{"c"}, Kinds: []FeatureKind{Categorical}, Cards: []int{5}}
+	ds := NewDataset(s, n)
+	targets := make([]float64, n)
+	means := []float64{-2, 0, 3, 7, -5}
+	for i := 0; i < n; i++ {
+		c := rng.Intn(5)
+		ds.Set(i, 0, float64(c))
+		targets[i] = means[c] + 0.01*rng.NormFloat64()
+	}
+	cfg := DefaultConfig()
+	cfg.NumRounds = 40
+	cfg.MinSamplesLeaf = 10
+	m, err := TrainRegressor(ds, targets, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c, want := range means {
+		got := m.PredictValue([]float64{float64(c)})
+		if math.Abs(got-want) > 0.25 {
+			t.Errorf("category %d predicted %g, want ~%g", c, got, want)
+		}
+	}
+}
+
+// TestTrainingWithConstantFeatures: constant columns must not break
+// split finding (no splits possible on them).
+func TestTrainingWithConstantFeatures(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	n := 400
+	ds := NewDataset(numSchema(3), n)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		ds.Set(i, 0, 7)   // constant
+		ds.Set(i, 1, 0.5) // constant
+		v := rng.NormFloat64()
+		ds.Set(i, 2, v)
+		if v > 0 {
+			labels[i] = 1
+		}
+	}
+	cfg := DefaultConfig()
+	cfg.NumRounds = 5
+	m, err := TrainClassifier(ds, labels, 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := m.FeatureImportance()
+	if imp[0] != 0 || imp[1] != 0 {
+		t.Errorf("constant features got importance %g/%g", imp[0], imp[1])
+	}
+	if m.PredictClass([]float64{7, 0.5, 3}) != 1 {
+		t.Error("informative feature ignored")
+	}
+}
+
+// TestTrainingWithNaNFeatures: missing numeric values route left and
+// training still converges on the clean feature.
+func TestTrainingWithNaNFeatures(t *testing.T) {
+	rng := rand.New(rand.NewSource(26))
+	n := 800
+	ds := NewDataset(numSchema(2), n)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		if rng.Float64() < 0.3 {
+			ds.Set(i, 0, math.NaN())
+		} else {
+			ds.Set(i, 0, rng.NormFloat64())
+		}
+		v := rng.NormFloat64()
+		ds.Set(i, 1, v)
+		if v > 0 {
+			labels[i] = 1
+		}
+	}
+	cfg := DefaultConfig()
+	cfg.NumRounds = 10
+	m, err := TrainClassifier(ds, labels, 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	row := make([]float64, 2)
+	for i := 0; i < n; i++ {
+		row = ds.Row(i, row)
+		want := labels[i]
+		if m.PredictClass(row) == want {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(n); acc < 0.9 {
+		t.Errorf("accuracy with NaNs = %.3f", acc)
+	}
+}
+
+// TestSubsampleExtremes: tiny subsample fractions still train (the
+// sampler guarantees at least one row).
+func TestSubsampleExtremes(t *testing.T) {
+	ds, labels := xorDataset(200, 27)
+	cfg := DefaultConfig()
+	cfg.NumRounds = 3
+	cfg.Subsample = 0.001
+	if _, err := TrainClassifier(ds, labels, 2, cfg); err != nil {
+		t.Fatalf("tiny subsample failed: %v", err)
+	}
+}
+
+// TestImbalancedLabels: a 99:1 class skew must not produce NaN losses
+// or probabilities.
+func TestImbalancedLabels(t *testing.T) {
+	rng := rand.New(rand.NewSource(28))
+	n := 1000
+	ds := NewDataset(numSchema(1), n)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		ds.Set(i, 0, rng.NormFloat64())
+		if i%100 == 0 {
+			labels[i] = 1
+		}
+	}
+	cfg := DefaultConfig()
+	cfg.NumRounds = 10
+	m, err := TrainClassifier(ds, labels, 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range m.TrainLoss {
+		if math.IsNaN(l) || math.IsInf(l, 0) {
+			t.Fatalf("invalid loss %g", l)
+		}
+	}
+	p := m.PredictProba([]float64{0})
+	if math.IsNaN(p[0]) {
+		t.Fatal("NaN probability")
+	}
+	// The majority class should dominate the prior at a neutral input.
+	if p[0] < 0.5 {
+		t.Errorf("majority-class probability %g < 0.5", p[0])
+	}
+}

@@ -1,0 +1,66 @@
+package gbdt
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Save writes the model as JSON.
+func (m *Model) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(m); err != nil {
+		return fmt.Errorf("gbdt: encode model: %w", err)
+	}
+	return nil
+}
+
+// Load reads a model written by Save and validates its schema.
+func Load(r io.Reader) (*Model, error) {
+	var m Model
+	if err := json.NewDecoder(r).Decode(&m); err != nil {
+		return nil, fmt.Errorf("gbdt: decode model: %w", err)
+	}
+	if m.Schema == nil {
+		return nil, fmt.Errorf("gbdt: model has no schema")
+	}
+	if err := m.Schema.Validate(); err != nil {
+		return nil, err
+	}
+	if m.NumClasses < 1 {
+		return nil, fmt.Errorf("gbdt: model has %d classes", m.NumClasses)
+	}
+	if len(m.InitScores) != m.NumClasses {
+		return nil, fmt.Errorf("gbdt: %d init scores for %d classes", len(m.InitScores), m.NumClasses)
+	}
+	for r, round := range m.Trees {
+		if len(round) != m.NumClasses {
+			return nil, fmt.Errorf("gbdt: round %d has %d trees for %d classes", r, len(round), m.NumClasses)
+		}
+	}
+	return &m, nil
+}
+
+// SaveFile writes the model to a file.
+func (m *Model) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("gbdt: %w", err)
+	}
+	defer f.Close()
+	if err := m.Save(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a model from a file written by SaveFile.
+func LoadFile(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("gbdt: %w", err)
+	}
+	defer f.Close()
+	return Load(f)
+}

@@ -1,0 +1,327 @@
+package gbdt
+
+import (
+	"math"
+	"sort"
+)
+
+// Node is one tree node. Leaves carry Value (already scaled by the
+// learning rate); internal nodes carry a split.
+type Node struct {
+	Feature int         `json:"f"`
+	Kind    FeatureKind `json:"k"`
+	// Threshold for numeric splits: x <= Threshold goes left; NaN goes
+	// left (missing is treated as -inf).
+	Threshold float64 `json:"t,omitempty"`
+	// LeftCats holds the sorted category ids routed left for
+	// categorical splits; ids not listed (including unseen ones) go
+	// right.
+	LeftCats []int32 `json:"c,omitempty"`
+	Left     int     `json:"l"`
+	Right    int     `json:"r"`
+	Value    float64 `json:"v"`
+	Gain     float64 `json:"g,omitempty"`
+	IsLeaf   bool    `json:"leaf"`
+}
+
+// Tree is a regression tree stored as a node slice; node 0 is the root.
+type Tree struct {
+	Nodes []Node `json:"nodes"`
+}
+
+// Predict evaluates the tree on a raw feature row.
+func (t *Tree) Predict(row []float64) float64 {
+	idx := 0
+	for {
+		n := &t.Nodes[idx]
+		if n.IsLeaf {
+			return n.Value
+		}
+		v := row[n.Feature]
+		if n.Kind == Numeric {
+			if math.IsNaN(v) || v <= n.Threshold {
+				idx = n.Left
+			} else {
+				idx = n.Right
+			}
+		} else {
+			if containsCat(n.LeftCats, v) {
+				idx = n.Left
+			} else {
+				idx = n.Right
+			}
+		}
+	}
+}
+
+func containsCat(cats []int32, v float64) bool {
+	if math.IsNaN(v) {
+		return false
+	}
+	id := int32(v)
+	lo, hi := 0, len(cats)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cats[mid] < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(cats) && cats[lo] == id
+}
+
+// NumLeaves returns the number of leaf nodes.
+func (t *Tree) NumLeaves() int {
+	n := 0
+	for i := range t.Nodes {
+		if t.Nodes[i].IsLeaf {
+			n++
+		}
+	}
+	return n
+}
+
+// AccumulateImportance adds each split's gain to imp[feature].
+func (t *Tree) AccumulateImportance(imp []float64) {
+	for i := range t.Nodes {
+		if !t.Nodes[i].IsLeaf {
+			imp[t.Nodes[i].Feature] += t.Nodes[i].Gain
+		}
+	}
+}
+
+// splitResult describes the best split found for one node.
+type splitResult struct {
+	feature  int
+	kind     FeatureKind
+	bin      int     // numeric: highest bin index routed left
+	leftCats []int32 // categorical: category bins routed left
+	gain     float64
+	found    bool
+}
+
+// grower holds the per-training-run state needed to grow trees.
+type grower struct {
+	bins   *binning
+	schema *Schema
+	cfg    Config
+}
+
+// growTree fits one regression tree to gradients g and hessians h over
+// the sampled row indices, returning the tree with leaf values already
+// scaled by the learning rate.
+func (gr *grower) growTree(rows []int32, g, h []float64) *Tree {
+	t := &Tree{}
+	gr.growNode(t, rows, g, h, 0)
+	return t
+}
+
+// growNode appends the subtree for rows to t and returns its node index.
+func (gr *grower) growNode(t *Tree, rows []int32, g, h []float64, depth int) int {
+	var sumG, sumH float64
+	for _, i := range rows {
+		sumG += g[i]
+		sumH += h[i]
+	}
+	idx := len(t.Nodes)
+	t.Nodes = append(t.Nodes, Node{IsLeaf: true})
+	leafValue := func() float64 {
+		return -sumG / (sumH + gr.cfg.Lambda) * gr.cfg.LearningRate
+	}
+	if depth >= gr.cfg.MaxDepth || len(rows) < 2*gr.cfg.MinSamplesLeaf {
+		t.Nodes[idx].Value = leafValue()
+		return idx
+	}
+	best := gr.bestSplit(rows, g, h, sumG, sumH)
+	if !best.found {
+		t.Nodes[idx].Value = leafValue()
+		return idx
+	}
+	left, right := gr.partition(rows, best)
+	if len(left) < gr.cfg.MinSamplesLeaf || len(right) < gr.cfg.MinSamplesLeaf {
+		t.Nodes[idx].Value = leafValue()
+		return idx
+	}
+	// Fill the split node, then grow children (their indices depend on
+	// append order; record them after the recursive calls return).
+	t.Nodes[idx] = Node{
+		Feature: best.feature,
+		Kind:    best.kind,
+		Gain:    best.gain,
+		IsLeaf:  false,
+	}
+	if best.kind == Numeric {
+		t.Nodes[idx].Threshold = gr.thresholdFor(best)
+	} else {
+		t.Nodes[idx].LeftCats = best.leftCats
+	}
+	l := gr.growNode(t, left, g, h, depth+1)
+	r := gr.growNode(t, right, g, h, depth+1)
+	t.Nodes[idx].Left = l
+	t.Nodes[idx].Right = r
+	return idx
+}
+
+// thresholdFor converts a bin-index split back to a raw-value threshold.
+func (gr *grower) thresholdFor(s splitResult) float64 {
+	uppers := gr.bins.uppers[s.feature]
+	if s.bin < len(uppers) {
+		return uppers[s.bin]
+	}
+	return math.Inf(1)
+}
+
+// partition splits rows according to the chosen split.
+func (gr *grower) partition(rows []int32, s splitResult) (left, right []int32) {
+	binned := gr.bins.binned[s.feature]
+	if s.kind == Numeric {
+		for _, i := range rows {
+			if int(binned[i]) <= s.bin {
+				left = append(left, i)
+			} else {
+				right = append(right, i)
+			}
+		}
+		return left, right
+	}
+	inLeft := make(map[int32]bool, len(s.leftCats))
+	for _, c := range s.leftCats {
+		inLeft[c] = true
+	}
+	for _, i := range rows {
+		if inLeft[binned[i]] {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	return left, right
+}
+
+// bestSplit scans all features for the highest-gain split of rows.
+func (gr *grower) bestSplit(rows []int32, g, h []float64, sumG, sumH float64) splitResult {
+	var best splitResult
+	lambda := gr.cfg.Lambda
+	parentScore := sumG * sumG / (sumH + lambda)
+	nf := gr.schema.NumFeatures()
+	// Reusable histogram buffers sized to the largest feature.
+	maxBins := 0
+	for f := 0; f < nf; f++ {
+		if gr.bins.numBins[f] > maxBins {
+			maxBins = gr.bins.numBins[f]
+		}
+	}
+	histG := make([]float64, maxBins)
+	histH := make([]float64, maxBins)
+	histN := make([]int, maxBins)
+
+	for f := 0; f < nf; f++ {
+		nb := gr.bins.numBins[f]
+		if nb < 2 {
+			continue
+		}
+		for b := 0; b < nb; b++ {
+			histG[b], histH[b], histN[b] = 0, 0, 0
+		}
+		binned := gr.bins.binned[f]
+		for _, i := range rows {
+			b := binned[i]
+			histG[b] += g[i]
+			histH[b] += h[i]
+			histN[b]++
+		}
+		if gr.schema.Kinds[f] == Numeric {
+			gr.scanNumeric(f, nb, histG, histH, histN, sumG, sumH, parentScore, &best)
+		} else {
+			gr.scanCategorical(f, nb, histG, histH, histN, sumG, sumH, parentScore, &best)
+		}
+	}
+	return best
+}
+
+func splitGain(gl, hl, gr_, hr, parentScore, lambda float64) float64 {
+	return 0.5 * (gl*gl/(hl+lambda) + gr_*gr_/(hr+lambda) - parentScore)
+}
+
+func (gr *grower) scanNumeric(f, nb int, histG, histH []float64, histN []int,
+	sumG, sumH, parentScore float64, best *splitResult) {
+	var gl, hl float64
+	var nl int
+	for b := 0; b < nb-1; b++ {
+		gl += histG[b]
+		hl += histH[b]
+		nl += histN[b]
+		if nl < gr.cfg.MinSamplesLeaf {
+			continue
+		}
+		nr := 0
+		for bb := b + 1; bb < nb; bb++ {
+			nr += histN[bb]
+		}
+		if nr < gr.cfg.MinSamplesLeaf {
+			break
+		}
+		gain := splitGain(gl, hl, sumG-gl, sumH-hl, parentScore, gr.cfg.Lambda)
+		if gain > best.gain+gr.cfg.Gamma && gain > 1e-12 {
+			*best = splitResult{feature: f, kind: Numeric, bin: b, gain: gain, found: true}
+		}
+	}
+}
+
+// scanCategorical orders categories by gradient statistics (the standard
+// LightGBM-style trick) and scans prefix splits along that order.
+func (gr *grower) scanCategorical(f, nb int, histG, histH []float64, histN []int,
+	sumG, sumH, parentScore float64, best *splitResult) {
+	type catStat struct {
+		id   int32
+		g, h float64
+		n    int
+	}
+	cats := make([]catStat, 0, nb)
+	for b := 0; b < nb; b++ {
+		if histN[b] == 0 {
+			continue
+		}
+		cats = append(cats, catStat{id: int32(b), g: histG[b], h: histH[b], n: histN[b]})
+	}
+	if len(cats) < 2 {
+		return
+	}
+	sort.Slice(cats, func(a, b int) bool {
+		ra := cats[a].g / (cats[a].h + 1)
+		rb := cats[b].g / (cats[b].h + 1)
+		if ra != rb {
+			return ra < rb
+		}
+		return cats[a].id < cats[b].id
+	})
+	var gl, hl float64
+	nl := 0
+	total := 0
+	for _, c := range cats {
+		total += c.n
+	}
+	bestPrefix := -1
+	for p := 0; p < len(cats)-1; p++ {
+		gl += cats[p].g
+		hl += cats[p].h
+		nl += cats[p].n
+		if nl < gr.cfg.MinSamplesLeaf || total-nl < gr.cfg.MinSamplesLeaf {
+			continue
+		}
+		gain := splitGain(gl, hl, sumG-gl, sumH-hl, parentScore, gr.cfg.Lambda)
+		if gain > best.gain+gr.cfg.Gamma && gain > 1e-12 {
+			*best = splitResult{feature: f, kind: Categorical, gain: gain, found: true}
+			bestPrefix = p
+		}
+	}
+	if bestPrefix >= 0 && best.feature == f && best.kind == Categorical {
+		left := make([]int32, 0, bestPrefix+1)
+		for p := 0; p <= bestPrefix; p++ {
+			left = append(left, cats[p].id)
+		}
+		sort.Slice(left, func(a, b int) bool { return left[a] < left[b] })
+		best.leftCats = left
+	}
+}

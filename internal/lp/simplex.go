@@ -1,0 +1,178 @@
+// Package lp implements a dense primal simplex solver for linear
+// programs in the standard inequality form
+//
+//	maximize    c·x
+//	subject to  A x <= b,  x >= 0,  b >= 0
+//
+// which is exactly the shape of the paper's data-placement ILP
+// relaxation (Section 3.1): non-negative SSD capacities on the right-
+// hand side mean the all-slack basis is always feasible, so no phase-1
+// is needed. The oracle's branch-and-bound uses this solver for its
+// relaxation bounds.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Status reports the outcome of a solve.
+type Status int
+
+const (
+	// Optimal means an optimal basic feasible solution was found.
+	Optimal Status = iota
+	// Unbounded means the objective can grow without limit.
+	Unbounded
+	// IterationLimit means the solver stopped before convergence.
+	IterationLimit
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Unbounded:
+		return "unbounded"
+	case IterationLimit:
+		return "iteration-limit"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// Problem is a linear program: maximize C·x subject to Ax <= B, x >= 0.
+// All B entries must be non-negative.
+type Problem struct {
+	C []float64
+	A [][]float64
+	B []float64
+}
+
+// Solution holds the solver result.
+type Solution struct {
+	X         []float64
+	Objective float64
+	Status    Status
+}
+
+// ErrNegativeRHS is returned when some b < 0 (the all-slack basis would
+// be infeasible; this solver does not implement phase-1).
+var ErrNegativeRHS = errors.New("lp: negative right-hand side")
+
+const eps = 1e-9
+
+// Solve runs the primal simplex method. It uses Dantzig pricing and
+// switches to Bland's rule after a while to guarantee termination on
+// degenerate problems.
+func Solve(p Problem) (Solution, error) {
+	m := len(p.B)
+	n := len(p.C)
+	if len(p.A) != m {
+		return Solution{}, fmt.Errorf("lp: A has %d rows, B has %d", len(p.A), m)
+	}
+	for i, row := range p.A {
+		if len(row) != n {
+			return Solution{}, fmt.Errorf("lp: A row %d has %d cols, C has %d", i, len(row), n)
+		}
+		if p.B[i] < 0 {
+			return Solution{}, fmt.Errorf("%w: b[%d] = %g", ErrNegativeRHS, i, p.B[i])
+		}
+	}
+
+	// Tableau: rows 0..m-1 are constraints [A | I | b];
+	// row m is the objective [-c | 0 | 0].
+	width := n + m + 1
+	t := make([][]float64, m+1)
+	for i := 0; i < m; i++ {
+		t[i] = make([]float64, width)
+		copy(t[i], p.A[i])
+		t[i][n+i] = 1
+		t[i][width-1] = p.B[i]
+	}
+	t[m] = make([]float64, width)
+	for j := 0; j < n; j++ {
+		t[m][j] = -p.C[j]
+	}
+
+	basis := make([]int, m)
+	for i := range basis {
+		basis[i] = n + i
+	}
+
+	maxIter := 200 * (n + m + 10)
+	blandAfter := 20 * (n + m + 10)
+	for iter := 0; iter < maxIter; iter++ {
+		// Entering column.
+		col := -1
+		if iter < blandAfter {
+			best := -eps
+			for j := 0; j < n+m; j++ {
+				if t[m][j] < best {
+					best = t[m][j]
+					col = j
+				}
+			}
+		} else {
+			for j := 0; j < n+m; j++ {
+				if t[m][j] < -eps {
+					col = j
+					break
+				}
+			}
+		}
+		if col < 0 {
+			return extract(t, basis, n, m, Optimal), nil
+		}
+		// Ratio test.
+		row := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < m; i++ {
+			if t[i][col] > eps {
+				ratio := t[i][width-1] / t[i][col]
+				if ratio < bestRatio-eps || (ratio < bestRatio+eps && (row < 0 || basis[i] < basis[row])) {
+					bestRatio = ratio
+					row = i
+				}
+			}
+		}
+		if row < 0 {
+			return Solution{Status: Unbounded}, nil
+		}
+		pivot(t, row, col)
+		basis[row] = col
+	}
+	return extract(t, basis, n, m, IterationLimit), nil
+}
+
+func pivot(t [][]float64, row, col int) {
+	width := len(t[0])
+	pv := t[row][col]
+	for j := 0; j < width; j++ {
+		t[row][j] /= pv
+	}
+	for i := range t {
+		if i == row {
+			continue
+		}
+		f := t[i][col]
+		if f == 0 {
+			continue
+		}
+		for j := 0; j < width; j++ {
+			t[i][j] -= f * t[row][j]
+		}
+	}
+}
+
+func extract(t [][]float64, basis []int, n, m int, st Status) Solution {
+	width := n + m + 1
+	x := make([]float64, n)
+	for i, b := range basis {
+		if b < n {
+			x[b] = t[i][width-1]
+		}
+	}
+	return Solution{X: x, Objective: t[m][width-1], Status: st}
+}

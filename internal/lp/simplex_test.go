@@ -1,0 +1,207 @@
+package lp
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSolveTextbook(t *testing.T) {
+	// max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18.
+	// Optimum at (2, 6) with objective 36.
+	p := Problem{
+		C: []float64{3, 5},
+		A: [][]float64{{1, 0}, {0, 2}, {3, 2}},
+		B: []float64{4, 12, 18},
+	}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal {
+		t.Fatalf("status = %v", s.Status)
+	}
+	if math.Abs(s.Objective-36) > 1e-6 {
+		t.Errorf("objective = %g, want 36", s.Objective)
+	}
+	if math.Abs(s.X[0]-2) > 1e-6 || math.Abs(s.X[1]-6) > 1e-6 {
+		t.Errorf("X = %v, want [2 6]", s.X)
+	}
+}
+
+func TestSolveKnapsackRelaxation(t *testing.T) {
+	// Fractional knapsack: max 10a + 6b + 4c s.t. a+b+c <= 1, each <= 1.
+	p := Problem{
+		C: []float64{10, 6, 4},
+		A: [][]float64{
+			{1, 1, 1},
+			{1, 0, 0}, {0, 1, 0}, {0, 0, 1},
+		},
+		B: []float64{1, 1, 1, 1},
+	}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Objective-10) > 1e-6 {
+		t.Errorf("objective = %g, want 10 (all budget on best item)", s.Objective)
+	}
+}
+
+func TestSolveUnbounded(t *testing.T) {
+	p := Problem{
+		C: []float64{1, 0},
+		A: [][]float64{{0, 1}},
+		B: []float64{5},
+	}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", s.Status)
+	}
+}
+
+func TestSolveNegativeRHS(t *testing.T) {
+	p := Problem{C: []float64{1}, A: [][]float64{{1}}, B: []float64{-1}}
+	if _, err := Solve(p); !errors.Is(err, ErrNegativeRHS) {
+		t.Fatalf("err = %v, want ErrNegativeRHS", err)
+	}
+}
+
+func TestSolveDimensionMismatch(t *testing.T) {
+	if _, err := Solve(Problem{C: []float64{1}, A: [][]float64{{1}, {1}}, B: []float64{1}}); err == nil {
+		t.Error("row mismatch accepted")
+	}
+	if _, err := Solve(Problem{C: []float64{1, 2}, A: [][]float64{{1}}, B: []float64{1}}); err == nil {
+		t.Error("col mismatch accepted")
+	}
+}
+
+func TestSolveZeroObjective(t *testing.T) {
+	p := Problem{C: []float64{0, 0}, A: [][]float64{{1, 1}}, B: []float64{10}}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Objective != 0 {
+		t.Errorf("objective = %g, want 0", s.Objective)
+	}
+}
+
+func TestSolveAllNegativeCosts(t *testing.T) {
+	// Maximizing a negative objective: optimum is x = 0.
+	p := Problem{C: []float64{-3, -1}, A: [][]float64{{1, 1}}, B: []float64{5}}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Objective != 0 || s.X[0] != 0 || s.X[1] != 0 {
+		t.Errorf("solution = %+v, want all-zero", s)
+	}
+}
+
+func TestSolveDegenerate(t *testing.T) {
+	// Degenerate problem with redundant constraints: must terminate.
+	p := Problem{
+		C: []float64{1, 1},
+		A: [][]float64{{1, 1}, {1, 1}, {2, 2}, {1, 0}},
+		B: []float64{1, 1, 2, 1},
+	}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal || math.Abs(s.Objective-1) > 1e-6 {
+		t.Errorf("solution = %+v, want objective 1", s)
+	}
+}
+
+// TestSolveRandomFeasibility cross-checks simplex solutions on random
+// problems: the returned X must satisfy all constraints and beat a crude
+// random search.
+func TestSolveRandomFeasibility(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(5)
+		m := 1 + rng.Intn(5)
+		p := Problem{C: make([]float64, n), A: make([][]float64, m), B: make([]float64, m)}
+		for j := 0; j < n; j++ {
+			p.C[j] = rng.NormFloat64()
+		}
+		for i := 0; i < m; i++ {
+			p.A[i] = make([]float64, n)
+			for j := 0; j < n; j++ {
+				p.A[i][j] = rng.Float64() // non-negative A => bounded given b >= 0 when c <= 0... not always bounded
+			}
+			p.B[i] = rng.Float64() * 10
+		}
+		// Add box constraints to guarantee boundedness.
+		for j := 0; j < n; j++ {
+			row := make([]float64, n)
+			row[j] = 1
+			p.A = append(p.A, row)
+			p.B = append(p.B, 10)
+		}
+		s, err := Solve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Status != Optimal {
+			t.Fatalf("trial %d: status %v", trial, s.Status)
+		}
+		// Feasibility.
+		for i, row := range p.A {
+			var lhs float64
+			for j := range row {
+				lhs += row[j] * s.X[j]
+			}
+			if lhs > p.B[i]+1e-6 {
+				t.Fatalf("trial %d: constraint %d violated: %g > %g", trial, i, lhs, p.B[i])
+			}
+		}
+		for j, x := range s.X {
+			if x < -1e-9 {
+				t.Fatalf("trial %d: x[%d] = %g < 0", trial, j, x)
+			}
+		}
+		// Objective consistency.
+		var obj float64
+		for j := range s.X {
+			obj += p.C[j] * s.X[j]
+		}
+		if math.Abs(obj-s.Objective) > 1e-6 {
+			t.Fatalf("trial %d: objective mismatch %g vs %g", trial, obj, s.Objective)
+		}
+		// Random search should never beat the simplex optimum.
+		for probe := 0; probe < 200; probe++ {
+			x := make([]float64, n)
+			for j := range x {
+				x[j] = rng.Float64() * 10
+			}
+			feasible := true
+			for i, row := range p.A {
+				var lhs float64
+				for j := range row {
+					lhs += row[j] * x[j]
+				}
+				if lhs > p.B[i] {
+					feasible = false
+					break
+				}
+			}
+			if !feasible {
+				continue
+			}
+			var val float64
+			for j := range x {
+				val += p.C[j] * x[j]
+			}
+			if val > s.Objective+1e-6 {
+				t.Fatalf("trial %d: random point beats simplex: %g > %g", trial, val, s.Objective)
+			}
+		}
+	}
+}

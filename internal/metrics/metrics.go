@@ -1,0 +1,255 @@
+// Package metrics provides small statistical helpers shared by the
+// simulator, the model-analysis experiments and the benchmark harness:
+// summary statistics, quantiles, histograms, AUC and confusion matrices.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds basic summary statistics of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Std    float64
+	Min    float64
+	Max    float64
+	Median float64
+}
+
+// Summarize computes summary statistics for xs. An empty sample yields a
+// zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(s.N)
+	variance := sumSq/float64(s.N) - s.Mean*s.Mean
+	if variance < 0 {
+		variance = 0
+	}
+	s.Std = math.Sqrt(variance)
+	s.Median = Quantile(xs, 0.5)
+	return s
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics. It copies and sorts the input.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return QuantileSorted(sorted, q)
+}
+
+// QuantileSorted is like Quantile but assumes xs is already sorted
+// ascending, avoiding the copy.
+func QuantileSorted(xs []float64, q float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return xs[0]
+	}
+	if q >= 1 {
+		return xs[n-1]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return xs[lo]
+	}
+	frac := pos - float64(lo)
+	return xs[lo]*(1-frac) + xs[hi]*frac
+}
+
+// Quantiles returns the values of xs at each of the requested quantile
+// points. xs is copied and sorted once.
+func Quantiles(xs []float64, qs []float64) []float64 {
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		out[i] = QuantileSorted(sorted, q)
+	}
+	return out
+}
+
+// AUC computes the area under the ROC curve for binary labels and
+// real-valued scores (higher score = more likely positive). Ties are
+// handled by assigning mid-ranks. Returns NaN when only one class is
+// present.
+func AUC(labels []bool, scores []float64) float64 {
+	if len(labels) != len(scores) {
+		panic(fmt.Sprintf("metrics: AUC length mismatch %d != %d", len(labels), len(scores)))
+	}
+	n := len(labels)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] < scores[idx[b]] })
+
+	// Assign mid-ranks to tied scores.
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j < n && scores[idx[j]] == scores[idx[i]] {
+			j++
+		}
+		mid := float64(i+j-1)/2 + 1 // 1-based mid-rank
+		for k := i; k < j; k++ {
+			ranks[idx[k]] = mid
+		}
+		i = j
+	}
+	var nPos, nNeg int
+	var sumPosRank float64
+	for i, lab := range labels {
+		if lab {
+			nPos++
+			sumPosRank += ranks[i]
+		} else {
+			nNeg++
+		}
+	}
+	if nPos == 0 || nNeg == 0 {
+		return math.NaN()
+	}
+	u := sumPosRank - float64(nPos)*float64(nPos+1)/2
+	return u / (float64(nPos) * float64(nNeg))
+}
+
+// Histogram is a fixed-bin histogram over [Lo, Hi). Values outside the
+// range are clamped into the first/last bin.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+}
+
+// NewHistogram creates a histogram with the given number of bins covering
+// [lo, hi).
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins <= 0 {
+		panic("metrics: histogram needs at least one bin")
+	}
+	if hi <= lo {
+		panic("metrics: histogram requires hi > lo")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+}
+
+// Add records a value.
+func (h *Histogram) Add(x float64) {
+	bins := len(h.Counts)
+	pos := int(float64(bins) * (x - h.Lo) / (h.Hi - h.Lo))
+	if pos < 0 {
+		pos = 0
+	}
+	if pos >= bins {
+		pos = bins - 1
+	}
+	h.Counts[pos]++
+}
+
+// Total returns the number of recorded values.
+func (h *Histogram) Total() int {
+	t := 0
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}
+
+// ConfusionMatrix accumulates multiclass classification outcomes.
+type ConfusionMatrix struct {
+	K      int
+	Counts [][]int // Counts[true][predicted]
+}
+
+// NewConfusionMatrix creates a KxK confusion matrix.
+func NewConfusionMatrix(k int) *ConfusionMatrix {
+	counts := make([][]int, k)
+	for i := range counts {
+		counts[i] = make([]int, k)
+	}
+	return &ConfusionMatrix{K: k, Counts: counts}
+}
+
+// Add records one (true, predicted) pair. Out-of-range classes panic.
+func (c *ConfusionMatrix) Add(trueClass, predClass int) {
+	c.Counts[trueClass][predClass]++
+}
+
+// Accuracy returns the top-1 accuracy, or NaN for an empty matrix.
+func (c *ConfusionMatrix) Accuracy() float64 {
+	var correct, total int
+	for i := 0; i < c.K; i++ {
+		for j := 0; j < c.K; j++ {
+			total += c.Counts[i][j]
+			if i == j {
+				correct += c.Counts[i][j]
+			}
+		}
+	}
+	if total == 0 {
+		return math.NaN()
+	}
+	return float64(correct) / float64(total)
+}
+
+// ClassRecall returns recall for one class, or NaN if the class is absent.
+func (c *ConfusionMatrix) ClassRecall(k int) float64 {
+	var total int
+	for j := 0; j < c.K; j++ {
+		total += c.Counts[k][j]
+	}
+	if total == 0 {
+		return math.NaN()
+	}
+	return float64(c.Counts[k][k]) / float64(total)
+}
+
+// Pearson computes the Pearson correlation coefficient between xs and ys.
+// Returns NaN for degenerate inputs.
+func Pearson(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) == 0 {
+		return math.NaN()
+	}
+	n := float64(len(xs))
+	var sx, sy, sxx, syy, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		syy += ys[i] * ys[i]
+		sxy += xs[i] * ys[i]
+	}
+	cov := sxy/n - sx/n*sy/n
+	vx := sxx/n - sx/n*sx/n
+	vy := syy/n - sy/n*sy/n
+	if vx <= 0 || vy <= 0 {
+		return math.NaN()
+	}
+	return cov / math.Sqrt(vx*vy)
+}

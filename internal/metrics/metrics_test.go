@@ -1,0 +1,228 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasic(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 {
+		t.Fatalf("N = %d, want 5", s.N)
+	}
+	if s.Mean != 3 {
+		t.Errorf("Mean = %g, want 3", s.Mean)
+	}
+	if s.Min != 1 || s.Max != 5 {
+		t.Errorf("Min/Max = %g/%g, want 1/5", s.Min, s.Max)
+	}
+	if s.Median != 3 {
+		t.Errorf("Median = %g, want 3", s.Median)
+	}
+	wantStd := math.Sqrt(2)
+	if math.Abs(s.Std-wantStd) > 1e-12 {
+		t.Errorf("Std = %g, want %g", s.Std, wantStd)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 {
+		t.Fatalf("N = %d, want 0", s.N)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	cases := []struct {
+		q, want float64
+	}{
+		{0, 10}, {1, 40}, {0.5, 25}, {1.0 / 3.0, 20}, {-1, 10}, {2, 40},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Quantile(%g) = %g, want %g", c.q, got, c.want)
+		}
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("Quantile of empty slice should be NaN")
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("Quantile mutated input: %v", xs)
+	}
+}
+
+func TestQuantilesMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	qs := []float64{0.1, 0.25, 0.5, 0.75, 0.9}
+	vals := Quantiles(xs, qs)
+	for i := 1; i < len(vals); i++ {
+		if vals[i] < vals[i-1] {
+			t.Fatalf("quantiles not monotone: %v", vals)
+		}
+	}
+}
+
+func TestAUCPerfectSeparation(t *testing.T) {
+	labels := []bool{false, false, true, true}
+	scores := []float64{0.1, 0.2, 0.8, 0.9}
+	if got := AUC(labels, scores); got != 1 {
+		t.Errorf("AUC = %g, want 1", got)
+	}
+	// Inverted scores give AUC 0.
+	inv := []float64{0.9, 0.8, 0.2, 0.1}
+	if got := AUC(labels, inv); got != 0 {
+		t.Errorf("inverted AUC = %g, want 0", got)
+	}
+}
+
+func TestAUCRandomScoresNearHalf(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 5000
+	labels := make([]bool, n)
+	scores := make([]float64, n)
+	for i := range labels {
+		labels[i] = rng.Float64() < 0.5
+		scores[i] = rng.Float64()
+	}
+	got := AUC(labels, scores)
+	if math.Abs(got-0.5) > 0.03 {
+		t.Errorf("AUC of random scores = %g, want ~0.5", got)
+	}
+}
+
+func TestAUCTies(t *testing.T) {
+	// All scores identical: AUC should be exactly 0.5 via mid-ranks.
+	labels := []bool{true, false, true, false}
+	scores := []float64{1, 1, 1, 1}
+	if got := AUC(labels, scores); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("AUC with all ties = %g, want 0.5", got)
+	}
+}
+
+func TestAUCSingleClass(t *testing.T) {
+	if got := AUC([]bool{true, true}, []float64{1, 2}); !math.IsNaN(got) {
+		t.Errorf("AUC with one class = %g, want NaN", got)
+	}
+}
+
+func TestAUCRangeProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) < 4 {
+			return true
+		}
+		labels := make([]bool, len(raw))
+		scores := make([]float64, len(raw))
+		hasPos, hasNeg := false, false
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+			labels[i] = v > 0
+			scores[i] = v * 3.7
+			if labels[i] {
+				hasPos = true
+			} else {
+				hasNeg = true
+			}
+		}
+		if !hasPos || !hasNeg {
+			return true
+		}
+		auc := AUC(labels, scores)
+		return auc >= 0 && auc <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, v := range []float64{-1, 0, 1.9, 2, 9.99, 10, 100} {
+		h.Add(v)
+	}
+	if h.Total() != 7 {
+		t.Fatalf("Total = %d, want 7", h.Total())
+	}
+	if h.Counts[0] != 3 { // -1 (clamped), 0, 1.9
+		t.Errorf("bin0 = %d, want 3", h.Counts[0])
+	}
+	if h.Counts[4] != 3 { // 9.99, 10 (clamped), 100 (clamped)
+		t.Errorf("bin4 = %d, want 3", h.Counts[4])
+	}
+	if h.Counts[1] != 1 { // 2
+		t.Errorf("bin1 = %d, want 1", h.Counts[1])
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	assertPanics(t, func() { NewHistogram(0, 10, 0) })
+	assertPanics(t, func() { NewHistogram(5, 5, 3) })
+}
+
+func assertPanics(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	f()
+}
+
+func TestConfusionMatrix(t *testing.T) {
+	cm := NewConfusionMatrix(3)
+	cm.Add(0, 0)
+	cm.Add(0, 1)
+	cm.Add(1, 1)
+	cm.Add(2, 2)
+	if acc := cm.Accuracy(); math.Abs(acc-0.75) > 1e-12 {
+		t.Errorf("Accuracy = %g, want 0.75", acc)
+	}
+	if r := cm.ClassRecall(0); math.Abs(r-0.5) > 1e-12 {
+		t.Errorf("recall(0) = %g, want 0.5", r)
+	}
+	if r := cm.ClassRecall(1); r != 1 {
+		t.Errorf("recall(1) = %g, want 1", r)
+	}
+}
+
+func TestConfusionMatrixEmpty(t *testing.T) {
+	cm := NewConfusionMatrix(2)
+	if !math.IsNaN(cm.Accuracy()) {
+		t.Error("empty accuracy should be NaN")
+	}
+	if !math.IsNaN(cm.ClassRecall(0)) {
+		t.Error("empty recall should be NaN")
+	}
+}
+
+func TestPearson(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	if got := Pearson(xs, ys); math.Abs(got-1) > 1e-12 {
+		t.Errorf("Pearson = %g, want 1", got)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	if got := Pearson(xs, neg); math.Abs(got+1) > 1e-12 {
+		t.Errorf("Pearson = %g, want -1", got)
+	}
+	if got := Pearson(xs, []float64{1, 1, 1, 1, 1}); !math.IsNaN(got) {
+		t.Errorf("Pearson with constant = %g, want NaN", got)
+	}
+	if got := Pearson(xs, xs[:2]); !math.IsNaN(got) {
+		t.Errorf("Pearson length mismatch = %g, want NaN", got)
+	}
+}

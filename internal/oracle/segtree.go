@@ -1,0 +1,85 @@
+package oracle
+
+// segTree is a lazy-propagation segment tree supporting range add and
+// range max over a fixed number of slots. The greedy oracle uses it to
+// maintain the SSD usage profile over time intervals: admitting a job is
+// a range-add of its size, and feasibility is a range-max query.
+type segTree struct {
+	n    int
+	maxv []float64
+	lazy []float64
+}
+
+func newSegTree(n int) *segTree {
+	if n < 1 {
+		n = 1
+	}
+	return &segTree{n: n, maxv: make([]float64, 4*n), lazy: make([]float64, 4*n)}
+}
+
+// Add adds delta to every slot in [lo, hi).
+func (s *segTree) Add(lo, hi int, delta float64) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > s.n {
+		hi = s.n
+	}
+	if lo >= hi {
+		return
+	}
+	s.add(1, 0, s.n, lo, hi, delta)
+}
+
+func (s *segTree) add(node, nodeLo, nodeHi, lo, hi int, delta float64) {
+	if lo <= nodeLo && nodeHi <= hi {
+		s.maxv[node] += delta
+		s.lazy[node] += delta
+		return
+	}
+	mid := (nodeLo + nodeHi) / 2
+	left, right := 2*node, 2*node+1
+	if lo < mid {
+		s.add(left, nodeLo, mid, lo, hi, delta)
+	}
+	if hi > mid {
+		s.add(right, mid, nodeHi, lo, hi, delta)
+	}
+	s.maxv[node] = s.lazy[node] + max64(s.maxv[left], s.maxv[right])
+}
+
+// Max returns the maximum slot value over [lo, hi); 0 for empty ranges.
+func (s *segTree) Max(lo, hi int) float64 {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > s.n {
+		hi = s.n
+	}
+	if lo >= hi {
+		return 0
+	}
+	return s.query(1, 0, s.n, lo, hi)
+}
+
+func (s *segTree) query(node, nodeLo, nodeHi, lo, hi int) float64 {
+	if lo <= nodeLo && nodeHi <= hi {
+		return s.maxv[node]
+	}
+	mid := (nodeLo + nodeHi) / 2
+	res := -1e308
+	if lo < mid {
+		res = max64(res, s.query(2*node, nodeLo, mid, lo, hi))
+	}
+	if hi > mid {
+		res = max64(res, s.query(2*node+1, mid, nodeHi, lo, hi))
+	}
+	return res + s.lazy[node]
+}
+
+func max64(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

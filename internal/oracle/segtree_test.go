@@ -1,0 +1,75 @@
+package oracle
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSegTreeBasic(t *testing.T) {
+	st := newSegTree(8)
+	if got := st.Max(0, 8); got != 0 {
+		t.Fatalf("empty max = %g, want 0", got)
+	}
+	st.Add(2, 5, 3)
+	if got := st.Max(0, 8); got != 3 {
+		t.Errorf("max = %g, want 3", got)
+	}
+	if got := st.Max(0, 2); got != 0 {
+		t.Errorf("max[0,2) = %g, want 0", got)
+	}
+	if got := st.Max(5, 8); got != 0 {
+		t.Errorf("max[5,8) = %g, want 0", got)
+	}
+	st.Add(4, 8, 2)
+	if got := st.Max(4, 5); got != 5 {
+		t.Errorf("max[4,5) = %g, want 5", got)
+	}
+	if got := st.Max(2, 4); got != 3 {
+		t.Errorf("max[2,4) = %g, want 3", got)
+	}
+}
+
+func TestSegTreeClamping(t *testing.T) {
+	st := newSegTree(4)
+	st.Add(-5, 100, 1) // clamped to [0,4)
+	if got := st.Max(-2, 50); got != 1 {
+		t.Errorf("max = %g, want 1", got)
+	}
+	if got := st.Max(3, 3); got != 0 {
+		t.Errorf("empty-range max = %g, want 0", got)
+	}
+	st2 := newSegTree(0) // degenerate size is clamped to 1
+	st2.Add(0, 1, 5)
+	if got := st2.Max(0, 1); got != 5 {
+		t.Errorf("degenerate tree max = %g, want 5", got)
+	}
+}
+
+func TestSegTreeAgainstBruteForce(t *testing.T) {
+	const n = 37
+	rng := rand.New(rand.NewSource(21))
+	st := newSegTree(n)
+	ref := make([]float64, n)
+	for op := 0; op < 2000; op++ {
+		lo := rng.Intn(n)
+		hi := lo + 1 + rng.Intn(n-lo)
+		if rng.Float64() < 0.5 {
+			delta := rng.NormFloat64()
+			st.Add(lo, hi, delta)
+			for i := lo; i < hi; i++ {
+				ref[i] += delta
+			}
+		} else {
+			want := ref[lo]
+			for i := lo + 1; i < hi; i++ {
+				if ref[i] > want {
+					want = ref[i]
+				}
+			}
+			got := st.Max(lo, hi)
+			if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("op %d: Max(%d,%d) = %g, want %g", op, lo, hi, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,196 @@
+package registry
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/trace"
+)
+
+func tinyModel(t *testing.T, seed int64) *core.CategoryModel {
+	t.Helper()
+	cfg := trace.DefaultGeneratorConfig("R", seed)
+	cfg.DurationSec = 6 * 3600
+	cfg.NumUsers = 3
+	jobs := trace.NewGenerator(cfg).Generate().Jobs
+	opts := core.DefaultTrainOptions()
+	opts.NumCategories = 4
+	opts.GBDT.NumRounds = 2
+	m, err := core.TrainCategoryModel(jobs, cost.Default(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestPublishResolveRollback(t *testing.T) {
+	r := New()
+	m1 := tinyModel(t, 1)
+	m2 := tinyModel(t, 2)
+
+	if _, _, err := r.Resolve("pipex"); err == nil {
+		t.Error("resolve before publish should fail")
+	}
+	v1, err := r.Publish("pipex", m1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1.Number != 1 {
+		t.Errorf("first version = %d", v1.Number)
+	}
+	v2, err := r.Publish("pipex", m2, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.Number != 2 {
+		t.Errorf("second version = %d", v2.Number)
+	}
+	got, v, err := r.Resolve("pipex")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Number != 2 || got != m2 {
+		t.Error("resolve did not return the newest version")
+	}
+	// Bad release: roll back.
+	if err := r.Rollback("pipex", 1); err != nil {
+		t.Fatal(err)
+	}
+	got, v, err = r.Resolve("pipex")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Number != 1 || got != m1 {
+		t.Error("rollback did not activate version 1")
+	}
+	if err := r.Rollback("pipex", 9); err == nil {
+		t.Error("rollback to missing version accepted")
+	}
+	if err := r.Rollback("ghost", 1); err == nil {
+		t.Error("rollback of unknown workload accepted")
+	}
+}
+
+func TestPublishValidation(t *testing.T) {
+	r := New()
+	if _, err := r.Publish("", tinyModel(t, 3), 0); err == nil {
+		t.Error("empty workload accepted")
+	}
+	if _, err := r.Publish("w", nil, 0); err == nil {
+		t.Error("nil model accepted")
+	}
+}
+
+func TestWorkloadsAndVersions(t *testing.T) {
+	r := New()
+	m := tinyModel(t, 4)
+	r.Publish("b", m, 1)
+	r.Publish("a", m, 2)
+	r.Publish("a", m, 3)
+	ws := r.Workloads()
+	if len(ws) != 2 || ws[0] != "a" || ws[1] != "b" {
+		t.Errorf("Workloads = %v", ws)
+	}
+	vs := r.Versions("a")
+	if len(vs) != 2 || vs[0].Number != 1 || vs[1].Number != 2 {
+		t.Errorf("Versions = %v", vs)
+	}
+	if len(r.Versions("ghost")) != 0 {
+		t.Error("unknown workload has versions")
+	}
+}
+
+func TestStaleDetection(t *testing.T) {
+	r := New()
+	m := tinyModel(t, 5)
+	r.Publish("fresh", m, 900)
+	r.Publish("old", m, 100)
+	stale := r.Stale(1000, 500)
+	if len(stale) != 1 || stale[0] != "old" {
+		t.Errorf("Stale = %v", stale)
+	}
+	if got := r.Stale(1000, 5000); len(got) != 0 {
+		t.Errorf("nothing should be stale with a huge budget: %v", got)
+	}
+}
+
+func TestPersistenceRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	r, err := NewPersistent(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1 := tinyModel(t, 6)
+	m2 := tinyModel(t, 7)
+	if _, err := r.Publish("pipe.alpha", m1, 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Publish("pipe.alpha", m2, 20); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Publish("other", m1, 30); err != nil {
+		t.Fatal(err)
+	}
+
+	restored, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := restored.Workloads()
+	if len(ws) != 2 {
+		t.Fatalf("restored workloads = %v", ws)
+	}
+	model, v, err := restored.Resolve("pipe.alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Number != 2 {
+		t.Errorf("restored active version = %d, want 2", v.Number)
+	}
+	// Restored model must predict identically to the published one.
+	cfg := trace.DefaultGeneratorConfig("R", 6)
+	cfg.DurationSec = 6 * 3600
+	cfg.NumUsers = 3
+	jobs := trace.NewGenerator(cfg).Generate().Jobs
+	for _, j := range jobs[:20] {
+		if model.Predict(j) != m2.Predict(j) {
+			t.Fatal("restored model predicts differently")
+		}
+	}
+}
+
+func TestRegistryConcurrentAccess(t *testing.T) {
+	r := New()
+	m := tinyModel(t, 8)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			name := fmt.Sprintf("w%d", w%4)
+			for i := 0; i < 20; i++ {
+				if _, err := r.Publish(name, m, float64(i)); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, _, err := r.Resolve(name); err != nil {
+					t.Error(err)
+					return
+				}
+				r.Workloads()
+				r.Stale(1e9, 10)
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	for _, w := range r.Workloads() {
+		total += len(r.Versions(w))
+	}
+	if total != 160 {
+		t.Errorf("total versions = %d, want 160", total)
+	}
+}

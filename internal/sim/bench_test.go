@@ -1,0 +1,25 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/trace"
+)
+
+// BenchmarkSimulatorThroughput measures jobs/sec through the event
+// loop with a trivial policy — the floor cost of every evaluation.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	cfg := trace.DefaultGeneratorConfig("bench", 5)
+	cfg.DurationSec = 2 * 24 * 3600
+	tr := trace.NewGenerator(cfg).Generate()
+	cm := cost.Default()
+	quota := tr.PeakSSDUsage() * 0.05
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(tr, always{}, cm, Config{SSDQuota: quota}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(tr.Jobs)), "jobs/run")
+}

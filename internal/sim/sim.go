@@ -1,0 +1,251 @@
+// Package sim is the cluster-scale placement simulator used for the
+// paper's large-scale simulation study (Section 5.1): it replays a job
+// trace against an SSD quota, asks a placement policy for a decision at
+// each job arrival, models partial spillover to HDD when the SSD is
+// full, supports evicting policies (the ML lifetime baseline), and
+// accounts TCO/TCIO savings with the cost model.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"repro/internal/cost"
+	"repro/internal/trace"
+)
+
+// PlaceContext is the environment a policy can observe at decision time.
+// It deliberately excludes clairvoyant information: policies see only
+// the current time, the quota and the free SSD space.
+type PlaceContext struct {
+	Now      float64
+	SSDQuota float64
+	SSDFree  float64
+}
+
+// Policy decides placement for each arriving job.
+type Policy interface {
+	// Name identifies the policy in results and reports.
+	Name() string
+	// Place returns true to request SSD placement for the job.
+	Place(j *trace.Job, ctx PlaceContext) bool
+}
+
+// Evictor is an optional policy extension: if implemented and
+// EvictAfter returns d > 0, a job placed on SSD is evicted d seconds
+// after its arrival (the paper's ML baseline evicts after µ+σ).
+type Evictor interface {
+	EvictAfter(j *trace.Job) float64
+}
+
+// Observer is an optional policy extension delivering placement
+// outcomes — the feedback channel the adaptive algorithm's spillover
+// estimator consumes.
+type Observer interface {
+	Observe(j *trace.Job, o Outcome)
+}
+
+// Outcome describes what actually happened to a job.
+type Outcome struct {
+	// WantedSSD is the policy's decision.
+	WantedSSD bool
+	// FracOnSSD is the byte fraction placed on SSD (partial spillover
+	// leaves it in (0,1); a full spill makes it 0).
+	FracOnSSD float64
+	// SpilledAt is the absolute time spillover began, or -1.
+	SpilledAt float64
+	// EvictedAt is the absolute eviction time, or -1.
+	EvictedAt float64
+}
+
+// Record is the per-job simulation output.
+type Record struct {
+	Job       *trace.Job
+	Outcome   Outcome
+	TCOSaved  float64
+	TCIOSaved float64
+}
+
+// TimelinePoint samples SSD usage over time.
+type TimelinePoint struct {
+	At    float64
+	Used  float64
+	Quota float64
+}
+
+// Result aggregates a simulation run.
+type Result struct {
+	PolicyName  string
+	SSDQuota    float64
+	Records     []Record
+	TotalTCOHDD float64 // all-HDD baseline TCO
+	TotalTCIO   float64 // all-HDD baseline TCIO
+	TCOSaved    float64
+	TCIOSaved   float64
+	SSDPeakUsed float64
+	Timeline    []TimelinePoint
+}
+
+// TCOSavingsPercent returns TCO savings relative to the all-HDD
+// baseline, in percent.
+func (r *Result) TCOSavingsPercent() float64 {
+	if r.TotalTCOHDD <= 0 {
+		return 0
+	}
+	return 100 * r.TCOSaved / r.TotalTCOHDD
+}
+
+// TCIOSavingsPercent returns TCIO savings relative to the all-HDD
+// baseline, in percent.
+func (r *Result) TCIOSavingsPercent() float64 {
+	if r.TotalTCIO <= 0 {
+		return 0
+	}
+	return 100 * r.TCIOSaved / r.TotalTCIO
+}
+
+// Config controls a simulation run.
+type Config struct {
+	// SSDQuota is the SSD capacity in bytes.
+	SSDQuota float64
+	// KeepRecords retains per-job records (needed by some analyses;
+	// disable for large sweeps to save memory).
+	KeepRecords bool
+	// TimelineStep, if positive, samples SSD usage every step seconds.
+	TimelineStep float64
+}
+
+// release is a scheduled return of SSD bytes.
+type release struct {
+	at    float64
+	bytes float64
+}
+
+type releaseHeap []release
+
+func (h releaseHeap) Len() int            { return len(h) }
+func (h releaseHeap) Less(i, j int) bool  { return h[i].at < h[j].at }
+func (h releaseHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *releaseHeap) Push(x interface{}) { *h = append(*h, x.(release)) }
+func (h *releaseHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Run replays the trace through the policy. Jobs must be sorted by
+// arrival time (trace.Trace.Sort).
+func Run(tr *trace.Trace, p Policy, cm *cost.Model, cfg Config) (*Result, error) {
+	if cfg.SSDQuota < 0 {
+		return nil, fmt.Errorf("sim: negative SSD quota %g", cfg.SSDQuota)
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	res := &Result{PolicyName: p.Name(), SSDQuota: cfg.SSDQuota}
+	evictor, _ := p.(Evictor)
+	observer, _ := p.(Observer)
+
+	var used float64
+	releases := &releaseHeap{}
+	nextSample := 0.0
+	// Byte quantities are ~1e9-1e12, so accumulation drift is well above
+	// any absolute epsilon; tolerances scale with the quota.
+	eps := 1e-9 * (cfg.SSDQuota + 1)
+
+	for _, j := range tr.Jobs {
+		now := j.ArrivalSec
+		for releases.Len() > 0 && (*releases)[0].at <= now {
+			r := heap.Pop(releases).(release)
+			used -= r.bytes
+			if used < -eps {
+				return nil, fmt.Errorf("sim: SSD usage went negative (%g) at t=%g", used, r.at)
+			}
+			if used < 0 {
+				used = 0
+			}
+		}
+		if cfg.TimelineStep > 0 {
+			for nextSample <= now {
+				res.Timeline = append(res.Timeline, TimelinePoint{At: nextSample, Used: used, Quota: cfg.SSDQuota})
+				nextSample += cfg.TimelineStep
+			}
+		}
+
+		res.TotalTCOHDD += cm.TCOHDD(j)
+		res.TotalTCIO += cm.TCIO(j)
+
+		ctx := PlaceContext{Now: now, SSDQuota: cfg.SSDQuota, SSDFree: cfg.SSDQuota - used}
+		wants := p.Place(j, ctx)
+
+		out := Outcome{WantedSSD: wants, SpilledAt: -1, EvictedAt: -1}
+		if wants {
+			put := math.Min(ctx.SSDFree, j.SizeBytes)
+			if put < 0 {
+				put = 0
+			}
+			out.FracOnSSD = put / j.SizeBytes
+			if out.FracOnSSD < 1-1e-12 {
+				out.SpilledAt = now
+			}
+			residency := 1.0
+			releaseAt := j.EndSec()
+			if evictor != nil {
+				if d := evictor.EvictAfter(j); d > 0 && d < j.LifetimeSec {
+					releaseAt = now + d
+					residency = d / j.LifetimeSec
+					out.EvictedAt = releaseAt
+				}
+			}
+			if put > 0 {
+				used += put
+				if used > cfg.SSDQuota+eps {
+					return nil, fmt.Errorf("sim: SSD usage %g exceeds quota %g at t=%g", used, cfg.SSDQuota, now)
+				}
+				if used > cfg.SSDQuota {
+					used = cfg.SSDQuota
+				}
+				heap.Push(releases, release{at: releaseAt, bytes: put})
+				if used > res.SSDPeakUsed {
+					res.SSDPeakUsed = used
+				}
+			}
+			po := cost.PartialOutcome{FracOnSSD: out.FracOnSSD, ResidencyFrac: residency}
+			res.TCOSaved += cm.PartialSavings(j, po)
+			res.TCIOSaved += cm.PartialTCIOSaved(j, po)
+		}
+		if observer != nil {
+			observer.Observe(j, out)
+		}
+		if cfg.KeepRecords {
+			po := cost.PartialOutcome{FracOnSSD: out.FracOnSSD, ResidencyFrac: 1}
+			if out.EvictedAt >= 0 {
+				po.ResidencyFrac = (out.EvictedAt - now) / j.LifetimeSec
+			}
+			rec := Record{Job: j, Outcome: out}
+			if wants {
+				rec.TCOSaved = cm.PartialSavings(j, po)
+				rec.TCIOSaved = cm.PartialTCIOSaved(j, po)
+			}
+			res.Records = append(res.Records, rec)
+		}
+	}
+	return res, nil
+}
+
+// RunAll runs several policies over the same trace and returns results
+// keyed by policy name.
+func RunAll(tr *trace.Trace, policies []Policy, cm *cost.Model, cfg Config) (map[string]*Result, error) {
+	out := make(map[string]*Result, len(policies))
+	for _, p := range policies {
+		r, err := Run(tr, p, cm, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("sim: policy %s: %w", p.Name(), err)
+		}
+		out[p.Name()] = r
+	}
+	return out, nil
+}

@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// WriteJSONL serializes a trace as JSON lines: one header line with the
+// cluster name followed by one line per job. The format is append- and
+// stream-friendly, which matters for multi-week traces.
+func WriteJSONL(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	header := struct {
+		Cluster string `json:"cluster"`
+		NumJobs int    `json:"num_jobs"`
+	}{t.Cluster, len(t.Jobs)}
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(header); err != nil {
+		return fmt.Errorf("trace: encode header: %w", err)
+	}
+	for _, j := range t.Jobs {
+		if err := enc.Encode(j); err != nil {
+			return fmt.Errorf("trace: encode job %s: %w", j.ID, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL deserializes a trace written by WriteJSONL.
+func ReadJSONL(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	dec := json.NewDecoder(br)
+	var header struct {
+		Cluster string `json:"cluster"`
+		NumJobs int    `json:"num_jobs"`
+	}
+	if err := dec.Decode(&header); err != nil {
+		return nil, fmt.Errorf("trace: decode header: %w", err)
+	}
+	t := &Trace{Cluster: header.Cluster, Jobs: make([]*Job, 0, header.NumJobs)}
+	for {
+		var j Job
+		if err := dec.Decode(&j); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("trace: decode job: %w", err)
+		}
+		t.Jobs = append(t.Jobs, &j)
+	}
+	if header.NumJobs != 0 && len(t.Jobs) != header.NumJobs {
+		return nil, fmt.Errorf("trace: header claims %d jobs, found %d", header.NumJobs, len(t.Jobs))
+	}
+	return t, nil
+}
+
+// SaveFile writes the trace to a file using WriteJSONL.
+func SaveFile(path string, t *Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	defer f.Close()
+	if err := WriteJSONL(f, t); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a trace from a file written by SaveFile.
+func LoadFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	defer f.Close()
+	return ReadJSONL(f)
+}
