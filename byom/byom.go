@@ -26,8 +26,11 @@ package byom
 import (
 	"repro/internal/core"
 	"repro/internal/cost"
+	"repro/internal/metrics"
 	"repro/internal/oracle"
 	"repro/internal/policy"
+	"repro/internal/registry"
+	"repro/internal/serve"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -75,6 +78,23 @@ type (
 	// PartialOutcome describes how much of a job ran on SSD, for
 	// partial-savings accounting.
 	PartialOutcome = cost.PartialOutcome
+
+	// Server is the concurrent placement-serving front-end: sharded
+	// Algorithm 1 controllers fed by batched forest inference.
+	Server = serve.Server
+	// ServeConfig tunes the serving layer (shards, batching, flush).
+	ServeConfig = serve.Config
+	// ServeDecision is one served placement verdict.
+	ServeDecision = serve.Decision
+	// ServeStats is a snapshot of serving throughput/latency counters.
+	ServeStats = metrics.ShardSnapshot
+	// ModelRegistry stores per-workload model versions; publishing to
+	// it hot-swaps any server resolving that workload.
+	ModelRegistry = registry.Registry
+	// ModelVersion identifies one published model version.
+	ModelVersion = registry.Version
+	// Outcome reports how a placement played out (spillover feedback).
+	Outcome = sim.Outcome
 )
 
 // FullResidency is the PartialOutcome of a job that kept its SSD
@@ -136,6 +156,37 @@ func NewHeuristicPolicy(cm *CostModel, history []*Job) Policy {
 	h := policy.NewHeuristic(cm, policy.DefaultHeuristicConfig())
 	h.Prime(history)
 	return h
+}
+
+// DefaultServeConfig returns single-machine serving parameters for an
+// N-category model (8 shards, 64-job batches, 2 ms flush).
+func DefaultServeConfig(numCategories int) ServeConfig {
+	return serve.DefaultConfig(numCategories)
+}
+
+// NewModelRegistry creates an in-memory model registry. Use
+// (*ModelRegistry).Publish to roll out new versions; servers created
+// with NewServerFromRegistry pick them up atomically under load.
+func NewModelRegistry() *ModelRegistry { return registry.New() }
+
+// NewServer starts a placement server for one trained model: incoming
+// jobs are sharded across Algorithm 1 controllers and classified with
+// batched forest inference. The model is published as version 1 of
+// workload "default" in a private registry; use NewServerFromRegistry
+// to manage versions (hot swap, rollback) yourself.
+func NewServer(model *CategoryModel, cm *CostModel, cfg ServeConfig) (*Server, error) {
+	reg := registry.New()
+	if _, err := reg.Publish("default", model, 0); err != nil {
+		return nil, err
+	}
+	return serve.New(reg, "default", cm, cfg)
+}
+
+// NewServerFromRegistry starts a placement server that resolves and
+// tracks the workload's active model version in reg: every Publish or
+// Rollback swaps the compiled model atomically without pausing traffic.
+func NewServerFromRegistry(reg *ModelRegistry, workload string, cm *CostModel, cfg ServeConfig) (*Server, error) {
+	return serve.New(reg, workload, cm, cfg)
 }
 
 // Simulate replays a trace through a placement policy under an SSD

@@ -115,3 +115,69 @@ func TestClusterConfigsExposed(t *testing.T) {
 		t.Error("custom rates not applied")
 	}
 }
+
+// TestPublicAPIServer exercises the online serving path: NewServer for
+// the one-model case, then registry-managed hot swap under traffic.
+func TestPublicAPIServer(t *testing.T) {
+	gcfg := byom.DefaultGeneratorConfig("serve-demo", 3)
+	gcfg.DurationSec = 2 * 24 * 3600
+	gcfg.NumUsers = 6
+	full := byom.GenerateCluster(gcfg)
+	train, test := full.SplitAt(1 * 24 * 3600)
+
+	cm := byom.DefaultCostModel()
+	opts := byom.DefaultTrainOptions()
+	opts.NumCategories = 5
+	opts.GBDT.NumRounds = 4
+	opts.GBDT.MaxDepth = 3
+	model, err := byom.TrainCategoryModel(train.Jobs, cm, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv, err := byom.NewServer(model, cm, byom.DefaultServeConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	jobs := test.Jobs
+	if len(jobs) > 200 {
+		jobs = jobs[:200]
+	}
+	decisions, err := srv.SubmitBatch(jobs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range decisions {
+		if want := model.Predict(jobs[i]); d.Category != want {
+			t.Fatalf("job %d: served category %d, model predicts %d", i, d.Category, want)
+		}
+	}
+	if stats := srv.Stats(); stats.Submitted != int64(len(jobs)) {
+		t.Fatalf("stats count %d, want %d", stats.Submitted, len(jobs))
+	}
+
+	// Registry-managed server: publishing v2 hot-swaps it.
+	reg := byom.NewModelRegistry()
+	if _, err := reg.Publish("pipeline", model, 0); err != nil {
+		t.Fatal(err)
+	}
+	srv2, err := byom.NewServerFromRegistry(reg, "pipeline", cm, byom.DefaultServeConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	if _, err := reg.Publish("pipeline", model, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv2.ModelVersion(); got != 2 {
+		t.Fatalf("server did not swap to v2 (serving v%d)", got)
+	}
+	d, err := srv2.Submit(jobs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.ModelVersion != 2 {
+		t.Fatalf("decision served by v%d, want v2", d.ModelVersion)
+	}
+}

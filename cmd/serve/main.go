@@ -1,0 +1,239 @@
+// Command serve runs the concurrent placement-serving layer over a
+// trace: it trains (or loads) a category model, starts the sharded
+// batching server and replays the evaluation jobs from concurrent
+// submitter streams, reporting throughput, latency and per-shard
+// controller state. With -naive it also replays the same jobs through
+// a mutex-guarded per-row Predict loop for comparison, and with
+// -swap-mid it republishes the model mid-replay to demonstrate hot
+// swapping under load.
+//
+// Usage:
+//
+//	serve -days 2 -users 6 -rounds 12               # synthetic quick run
+//	serve -trace c0.jsonl -model model.json         # serve a real bundle
+//	serve -submitters 8 -shards 8 -batch 64 -naive  # throughput comparison
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/policy"
+	"repro/internal/registry"
+	"repro/internal/serve"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	var (
+		tracePath  = fs.String("trace", "", "input trace (JSON lines); empty generates a synthetic cluster")
+		modelPath  = fs.String("model", "", "category model bundle; empty trains on the trace's first half")
+		days       = fs.Float64("days", 2, "synthetic trace length in days")
+		users      = fs.Int("users", 6, "synthetic trace users")
+		seed       = fs.Int64("seed", 1, "synthetic trace seed")
+		rounds     = fs.Int("rounds", 12, "GBDT rounds when training")
+		categories = fs.Int("categories", 15, "categories when training")
+		shards     = fs.Int("shards", 8, "admission shards")
+		batch      = fs.Int("batch", 64, "max inference batch size")
+		flush      = fs.Duration("flush", 2*time.Millisecond, "max-latency batch flush interval")
+		submitters = fs.Int("submitters", 8, "concurrent submitter streams")
+		chunk      = fs.Int("chunk", 64, "jobs per SubmitBatch call")
+		maxJobs    = fs.Int("jobs", 0, "cap on replayed jobs (0 = all)")
+		naive      = fs.Bool("naive", false, "also replay through a mutex-guarded per-row Predict loop")
+		swapMid    = fs.Bool("swap-mid", false, "republish the model mid-replay (hot-swap demo)")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
+
+	cm := cost.Default()
+	train, test, err := loadSplit(*tracePath, *days, *users, *seed)
+	if err != nil {
+		return err
+	}
+	model, err := loadOrTrain(*modelPath, train, cm, *categories, *rounds, stdout)
+	if err != nil {
+		return err
+	}
+
+	jobs := test.Jobs
+	if *maxJobs > 0 && len(jobs) > *maxJobs {
+		jobs = jobs[:*maxJobs]
+	}
+	if len(jobs) == 0 {
+		return fmt.Errorf("no jobs to replay")
+	}
+
+	reg := registry.New()
+	if _, err := reg.Publish("serve", model, 0); err != nil {
+		return err
+	}
+	cfg := serve.DefaultConfig(model.NumCategories())
+	cfg.Shards = *shards
+	cfg.BatchSize = *batch
+	cfg.FlushInterval = *flush
+	srv, err := serve.New(reg, "serve", cm, cfg)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+
+	var swapped chan struct{}
+	if *swapMid {
+		swapped = make(chan struct{})
+		go func() {
+			defer close(swapped)
+			time.Sleep(20 * time.Millisecond)
+			if _, err := reg.Publish("serve", model, test.Duration()); err == nil {
+				fmt.Fprintf(stdout, "hot-swapped to model v%d mid-replay\n", srv.ModelVersion())
+			}
+		}()
+	}
+
+	elapsed, err := replayServer(srv, jobs, *submitters, *chunk)
+	if err != nil {
+		return err
+	}
+	if swapped != nil {
+		<-swapped
+	}
+	serveRate := float64(len(jobs)) / elapsed.Seconds()
+
+	stats := srv.Stats()
+	fmt.Fprintf(stdout, "replayed jobs:    %d across %d submitters\n", len(jobs), *submitters)
+	fmt.Fprintf(stdout, "serve throughput: %.0f jobs/sec (%.2fs wall)\n", serveRate, elapsed.Seconds())
+	fmt.Fprintf(stdout, "admitted:         %.1f%%\n", 100*float64(stats.Admitted)/float64(stats.Submitted))
+	fmt.Fprintf(stdout, "batches:          %d (mean size %.1f, %d timeout / %d full flushes)\n",
+		stats.Batches, stats.MeanBatchSize, stats.TimeoutFlushes, stats.FullFlushes)
+	fmt.Fprintf(stdout, "latency:          mean %s, max %s\n", stats.MeanLatency, stats.MaxLatency)
+	fmt.Fprintf(stdout, "model version:    v%d (%d swaps)\n", srv.ModelVersion(), srv.Swaps())
+	acts := srv.ACT()
+	for i, snap := range srv.ShardSnapshots() {
+		fmt.Fprintf(stdout, "  shard %d: %6d jobs, ACT %d, mean batch %.1f\n",
+			i, snap.Submitted, acts[i], snap.MeanBatchSize)
+	}
+
+	if *naive {
+		naiveElapsed, err := replayNaive(model, cm, jobs, *submitters)
+		if err != nil {
+			return err
+		}
+		naiveRate := float64(len(jobs)) / naiveElapsed.Seconds()
+		fmt.Fprintf(stdout, "naive throughput: %.0f jobs/sec (%.2fs wall)\n", naiveRate, naiveElapsed.Seconds())
+		fmt.Fprintf(stdout, "speedup:          %.2fx\n", serveRate/naiveRate)
+	}
+	return nil
+}
+
+// loadSplit loads or generates a trace and splits it in half.
+func loadSplit(path string, days float64, users int, seed int64) (train, test *trace.Trace, err error) {
+	var full *trace.Trace
+	if path != "" {
+		full, err = trace.LoadFile(path)
+		if err != nil {
+			return nil, nil, err
+		}
+	} else {
+		cfg := trace.DefaultGeneratorConfig("C0", seed)
+		cfg.DurationSec = days * 24 * 3600
+		cfg.NumUsers = users
+		full = trace.NewGenerator(cfg).Generate()
+	}
+	train, test = full.SplitAt(full.Duration() / 2)
+	return train, test, nil
+}
+
+// loadOrTrain loads a model bundle or trains a quick one on train jobs.
+func loadOrTrain(path string, train *trace.Trace, cm *cost.Model, categories, rounds int, stdout io.Writer) (*core.CategoryModel, error) {
+	if path != "" {
+		return core.LoadCategoryModelFile(path)
+	}
+	opts := core.DefaultTrainOptions()
+	opts.NumCategories = categories
+	opts.GBDT.NumRounds = rounds
+	fmt.Fprintf(stdout, "training %d-category model on %d jobs (%d rounds)\n",
+		categories, len(train.Jobs), rounds)
+	return core.TrainCategoryModel(train.Jobs, cm, opts)
+}
+
+// replayServer pushes jobs through the server from n concurrent
+// submitter streams and returns the wall time.
+func replayServer(srv *serve.Server, jobs []*trace.Job, n, chunk int) (time.Duration, error) {
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	start := time.Now()
+	for w := 0; w < n; w++ {
+		stream := jobs[w*len(jobs)/n : (w+1)*len(jobs)/n]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var out []serve.Decision
+			for len(stream) > 0 {
+				c := chunk
+				if c > len(stream) {
+					c = len(stream)
+				}
+				var err error
+				out, err = srv.SubmitBatch(stream[:c], out)
+				if err != nil {
+					errs <- err
+					return
+				}
+				stream = stream[c:]
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	for err := range errs {
+		return 0, err
+	}
+	return elapsed, nil
+}
+
+// replayNaive replays the same jobs through the pre-serving approach: a
+// single AdaptiveRanking policy guarded by a mutex, one per-row Predict
+// at a time.
+func replayNaive(model *core.CategoryModel, cm *cost.Model, jobs []*trace.Job, n int) (time.Duration, error) {
+	p, err := policy.NewAdaptiveRanking(model, cm, core.DefaultAdaptiveConfig(model.NumCategories()))
+	if err != nil {
+		return 0, err
+	}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < n; w++ {
+		stream := jobs[w*len(jobs)/n : (w+1)*len(jobs)/n]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, j := range stream {
+				mu.Lock()
+				p.Place(j, sim.PlaceContext{Now: j.ArrivalSec})
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	return time.Since(start), nil
+}

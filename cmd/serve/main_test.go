@@ -1,0 +1,36 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunQuickServe(t *testing.T) {
+	var buf strings.Builder
+	err := run([]string{
+		"-days", "1", "-users", "4", "-rounds", "3", "-categories", "4",
+		"-shards", "2", "-submitters", "2", "-naive", "-swap-mid",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"serve throughput:", "batches:", "model version:", "naive throughput:", "speedup:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-shards", "0"}, &buf); err == nil {
+		t.Fatal("zero shards accepted")
+	}
+	if err := run([]string{"-bogus"}, &buf); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+	if err := run([]string{"-trace", "missing.jsonl"}, &buf); err == nil {
+		t.Fatal("unreadable trace accepted")
+	}
+}

@@ -9,8 +9,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/byom"
@@ -24,21 +26,34 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "simulate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("simulate", flag.ContinueOnError)
 	var (
-		tracePath  = flag.String("trace", "", "input trace (JSON lines)")
-		policyName = flag.String("policy", "ranking", "ranking|hash|firstfit|heuristic|mlbaseline|oracle|oracle-tcio")
-		modelPath  = flag.String("model", "", "category model bundle (for -policy ranking)")
-		quotaFrac  = flag.Float64("quota", 0.01, "SSD quota as a fraction of the trace's peak usage")
-		split      = flag.Float64("split", 0.5, "train/test time split (baselines are primed on the training part)")
-		ttl        = flag.Float64("ttl", 7200, "TTL seconds for the ML lifetime baseline")
+		tracePath  = fs.String("trace", "", "input trace (JSON lines)")
+		policyName = fs.String("policy", "ranking", "ranking|hash|firstfit|heuristic|mlbaseline|oracle|oracle-tcio")
+		modelPath  = fs.String("model", "", "category model bundle (for -policy ranking)")
+		quotaFrac  = fs.Float64("quota", 0.01, "SSD quota as a fraction of the trace's peak usage")
+		split      = fs.Float64("split", 0.5, "train/test time split (baselines are primed on the training part)")
+		ttl        = fs.Float64("ttl", 7200, "TTL seconds for the ML lifetime baseline")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
 	if *tracePath == "" {
-		fatal(fmt.Errorf("-trace is required"))
+		return fmt.Errorf("-trace is required")
 	}
 	full, err := byom.LoadTrace(*tracePath)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	cut := full.Duration() * *split
 	train, test := full.SplitAt(cut)
@@ -47,18 +62,19 @@ func main() {
 
 	p, err := buildPolicy(*policyName, *modelPath, train.Jobs, test, quota, cm, *ttl)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	res, err := sim.Run(test, p, cm, sim.Config{SSDQuota: quota})
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Printf("policy:           %s\n", res.PolicyName)
-	fmt.Printf("test jobs:        %d\n", len(test.Jobs))
-	fmt.Printf("SSD quota:        %.2f GiB (%.2f%% of peak)\n", quota/(1<<30), *quotaFrac*100)
-	fmt.Printf("SSD peak used:    %.2f GiB\n", res.SSDPeakUsed/(1<<30))
-	fmt.Printf("TCO savings:      %.3f%%\n", res.TCOSavingsPercent())
-	fmt.Printf("TCIO savings:     %.3f%%\n", res.TCIOSavingsPercent())
+	fmt.Fprintf(stdout, "policy:           %s\n", res.PolicyName)
+	fmt.Fprintf(stdout, "test jobs:        %d\n", len(test.Jobs))
+	fmt.Fprintf(stdout, "SSD quota:        %.2f GiB (%.2f%% of peak)\n", quota/(1<<30), *quotaFrac*100)
+	fmt.Fprintf(stdout, "SSD peak used:    %.2f GiB\n", res.SSDPeakUsed/(1<<30))
+	fmt.Fprintf(stdout, "TCO savings:      %.3f%%\n", res.TCOSavingsPercent())
+	fmt.Fprintf(stdout, "TCIO savings:     %.3f%%\n", res.TCIOSavingsPercent())
+	return nil
 }
 
 func buildPolicy(name, modelPath string, trainJobs []*trace.Job, test *trace.Trace,
@@ -101,9 +117,4 @@ func buildPolicy(name, modelPath string, trainJobs []*trace.Job, test *trace.Tra
 	default:
 		return nil, fmt.Errorf("unknown policy %q", name)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "simulate:", err)
-	os.Exit(1)
 }

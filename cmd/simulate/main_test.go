@@ -1,0 +1,65 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/byom"
+)
+
+// writeTestTrace generates a small trace file for the smoke tests.
+func writeTestTrace(t *testing.T) string {
+	t.Helper()
+	cfg := byom.DefaultGeneratorConfig("sim-test", 5)
+	cfg.DurationSec = 1 * 24 * 3600
+	cfg.NumUsers = 4
+	tr := byom.GenerateCluster(cfg)
+	path := filepath.Join(t.TempDir(), "t.jsonl")
+	if err := byom.SaveTrace(path, tr); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunFirstFit(t *testing.T) {
+	path := writeTestTrace(t)
+	var buf strings.Builder
+	if err := run([]string{"-trace", path, "-policy", "firstfit", "-quota", "0.05"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"policy:", "FirstFit", "TCO savings:", "TCIO savings:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunHeuristic(t *testing.T) {
+	path := writeTestTrace(t)
+	var buf strings.Builder
+	if err := run([]string{"-trace", path, "-policy", "heuristic", "-quota", "0.05"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Heuristic") {
+		t.Fatalf("output missing policy name:\n%s", buf.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{}, &buf); err == nil {
+		t.Fatal("missing -trace accepted")
+	}
+	if err := run([]string{"-trace", "does-not-exist.jsonl"}, &buf); err == nil {
+		t.Fatal("unreadable trace accepted")
+	}
+	path := writeTestTrace(t)
+	if err := run([]string{"-trace", path, "-policy", "nope"}, &buf); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	if err := run([]string{"-bogus-flag"}, &buf); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}

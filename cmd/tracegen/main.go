@@ -9,8 +9,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -18,16 +20,29 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
 	var (
-		cluster = flag.String("cluster", "C0", "cluster name for a single trace")
-		seed    = flag.Int64("seed", 1, "generator seed")
-		days    = flag.Float64("days", 14, "trace duration in days")
-		users   = flag.Int("users", 12, "number of users")
-		out     = flag.String("out", "", "output file for a single trace (default <cluster>.jsonl)")
-		fleet   = flag.Int("fleet", 0, "generate a fleet of N clusters with uneven mixes instead of one")
-		outdir  = flag.String("outdir", ".", "output directory for fleet mode")
+		cluster = fs.String("cluster", "C0", "cluster name for a single trace")
+		seed    = fs.Int64("seed", 1, "generator seed")
+		days    = fs.Float64("days", 14, "trace duration in days")
+		users   = fs.Int("users", 12, "number of users")
+		out     = fs.String("out", "", "output file for a single trace (default <cluster>.jsonl)")
+		fleet   = fs.Int("fleet", 0, "generate a fleet of N clusters with uneven mixes instead of one")
+		outdir  = fs.String("outdir", ".", "output directory for fleet mode")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
 
 	if *fleet > 0 {
 		cfgs := byom.ClusterConfigs(*fleet, *seed)
@@ -37,12 +52,12 @@ func main() {
 			tr := byom.GenerateCluster(cfg)
 			path := filepath.Join(*outdir, cfg.Cluster+".jsonl")
 			if err := byom.SaveTrace(path, tr); err != nil {
-				fatal(err)
+				return err
 			}
-			fmt.Printf("%s: %d jobs, peak SSD usage %.2f GiB -> %s\n",
+			fmt.Fprintf(stdout, "%s: %d jobs, peak SSD usage %.2f GiB -> %s\n",
 				cfg.Cluster, len(tr.Jobs), tr.PeakSSDUsage()/(1<<30), path)
 		}
-		return
+		return nil
 	}
 
 	cfg := byom.DefaultGeneratorConfig(*cluster, *seed)
@@ -54,13 +69,9 @@ func main() {
 		path = *cluster + ".jsonl"
 	}
 	if err := byom.SaveTrace(path, tr); err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Printf("%s: %d jobs over %.1f days, peak SSD usage %.2f GiB -> %s\n",
+	fmt.Fprintf(stdout, "%s: %d jobs over %.1f days, peak SSD usage %.2f GiB -> %s\n",
 		*cluster, len(tr.Jobs), *days, tr.PeakSSDUsage()/(1<<30), path)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "tracegen:", err)
-	os.Exit(1)
+	return nil
 }

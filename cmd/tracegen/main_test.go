@@ -1,0 +1,56 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/byom"
+)
+
+func TestRunGeneratesTrace(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "c9.jsonl")
+	var buf strings.Builder
+	err := run([]string{"-cluster", "C9", "-seed", "3", "-days", "0.5", "-users", "3", "-out", out}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "C9:") {
+		t.Fatalf("missing summary line in output: %q", buf.String())
+	}
+	tr, err := byom.LoadTrace(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Jobs) == 0 {
+		t.Fatal("generated trace is empty")
+	}
+}
+
+func TestRunFleetMode(t *testing.T) {
+	dir := t.TempDir()
+	var buf strings.Builder
+	err := run([]string{"-fleet", "2", "-days", "0.5", "-users", "3", "-outdir", dir}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("fleet mode wrote %d files, want 2", len(entries))
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-days", "not-a-number"}, &buf); err == nil {
+		t.Fatal("bad flag value accepted")
+	}
+	if err := run([]string{"-nonsense"}, &buf); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}

@@ -7,6 +7,9 @@ import (
 )
 
 func TestGranularityAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow experiment test: skipped in -short mode")
+	}
 	res, err := Granularity(testOpts())
 	if err != nil {
 		t.Fatal(err)
@@ -42,6 +45,9 @@ func TestGranularityAblation(t *testing.T) {
 }
 
 func TestLabelDesignAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow experiment test: skipped in -short mode")
+	}
 	res, err := LabelDesign(testOpts())
 	if err != nil {
 		t.Fatal(err)
@@ -83,6 +89,9 @@ func TestLabelDesignAblation(t *testing.T) {
 }
 
 func TestWindowSemanticsAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow experiment test: skipped in -short mode")
+	}
 	res, err := WindowSemantics(testOpts())
 	if err != nil {
 		t.Fatal(err)

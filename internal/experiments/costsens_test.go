@@ -7,6 +7,9 @@ import (
 )
 
 func TestCostSensitivity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow experiment test: skipped in -short mode")
+	}
 	res, err := CostSensitivity(testOpts())
 	if err != nil {
 		t.Fatal(err)

@@ -108,6 +108,9 @@ func TestFig4OracleDensityPattern(t *testing.T) {
 }
 
 func TestFig6ClusterSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow experiment test: skipped in -short mode")
+	}
 	res, err := Fig6(testOpts(), 3)
 	if err != nil {
 		t.Fatal(err)
@@ -136,6 +139,9 @@ func TestFig6ClusterSweep(t *testing.T) {
 }
 
 func TestFig7QuotaSweepShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow experiment test: skipped in -short mode")
+	}
 	res, err := Fig7(testOpts())
 	if err != nil {
 		t.Fatal(err)
@@ -193,6 +199,9 @@ func TestFig9aInferenceFast(t *testing.T) {
 }
 
 func TestFig9bAccuracyCurve(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow experiment test: skipped in -short mode")
+	}
 	res, err := Fig9b(testOpts())
 	if err != nil {
 		t.Fatal(err)
@@ -208,6 +217,9 @@ func TestFig9bAccuracyCurve(t *testing.T) {
 }
 
 func TestFig9cGroupImportance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow experiment test: skipped in -short mode")
+	}
 	opts := testOpts()
 	opts.NumCategories = 6 // fewer binary probes for test speed
 	res, err := Fig9c(opts)
@@ -240,6 +252,9 @@ func TestFig9cGroupImportance(t *testing.T) {
 }
 
 func TestFig11TrueCategoryClose(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow experiment test: skipped in -short mode")
+	}
 	res, err := Fig11(testOpts())
 	if err != nil {
 		t.Fatal(err)
@@ -261,6 +276,9 @@ func TestFig11TrueCategoryClose(t *testing.T) {
 }
 
 func TestFig16Dynamics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow experiment test: skipped in -short mode")
+	}
 	res, err := Fig16(testOpts())
 	if err != nil {
 		t.Fatal(err)
@@ -282,6 +300,9 @@ func TestFig16Dynamics(t *testing.T) {
 }
 
 func TestTable4CategoryCount(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow experiment test: skipped in -short mode")
+	}
 	opts := testOpts()
 	res, err := Table4(opts)
 	if err != nil {

@@ -7,6 +7,9 @@ import (
 )
 
 func TestImitationEnvironmentBrittleness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow experiment test: skipped in -short mode")
+	}
 	res, err := Imitation(testOpts())
 	if err != nil {
 		t.Fatal(err)

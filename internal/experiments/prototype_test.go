@@ -48,6 +48,9 @@ func TestFig5PrototypeShape(t *testing.T) {
 }
 
 func TestFig8Generalization(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow experiment test: skipped in -short mode")
+	}
 	res, err := Fig8(testOpts())
 	if err != nil {
 		t.Fatal(err)
@@ -80,6 +83,9 @@ func TestFig8Generalization(t *testing.T) {
 }
 
 func TestFig10NewUsersAndPipelines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow experiment test: skipped in -short mode")
+	}
 	for _, mode := range []string{"user", "pipeline"} {
 		res, err := Fig10(testOpts(), mode, 2)
 		if err != nil {
@@ -152,6 +158,9 @@ func TestFig14NoRegressions(t *testing.T) {
 }
 
 func TestFig15SensitivityBand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow experiment test: skipped in -short mode")
+	}
 	opts := testOpts()
 	opts.Days = 3
 	opts.Users = 6

@@ -1,0 +1,112 @@
+package metrics
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// ShardCounters holds the per-shard throughput and latency counters of
+// the placement-serving layer. All fields are updated atomically, so a
+// single instance can be shared between a shard worker and concurrent
+// snapshot readers.
+type ShardCounters struct {
+	submitted      atomic.Int64
+	admitted       atomic.Int64
+	observations   atomic.Int64
+	batches        atomic.Int64
+	fullFlushes    atomic.Int64
+	timeoutFlushes atomic.Int64
+	latencyNs      atomic.Int64
+	maxLatencyNs   atomic.Int64
+}
+
+// RecordDecision counts one served placement decision and its queue+
+// inference latency.
+func (c *ShardCounters) RecordDecision(admitted bool, latency time.Duration) {
+	c.submitted.Add(1)
+	if admitted {
+		c.admitted.Add(1)
+	}
+	ns := latency.Nanoseconds()
+	c.latencyNs.Add(ns)
+	for {
+		cur := c.maxLatencyNs.Load()
+		if ns <= cur || c.maxLatencyNs.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// RecordObservation counts one feedback observation.
+func (c *ShardCounters) RecordObservation() { c.observations.Add(1) }
+
+// RecordBatch counts one processed batch; timeout reports whether the
+// batch was flushed by the max-latency timer rather than by filling up.
+func (c *ShardCounters) RecordBatch(timeout bool) {
+	c.batches.Add(1)
+	if timeout {
+		c.timeoutFlushes.Add(1)
+	} else {
+		c.fullFlushes.Add(1)
+	}
+}
+
+// ShardSnapshot is a point-in-time copy of a shard's counters.
+type ShardSnapshot struct {
+	Submitted      int64
+	Admitted       int64
+	Observations   int64
+	Batches        int64
+	FullFlushes    int64
+	TimeoutFlushes int64
+	MeanLatency    time.Duration
+	MaxLatency     time.Duration
+	MeanBatchSize  float64
+}
+
+// Snapshot copies the counters. Concurrent updates may tear between
+// fields; each individual field is consistent.
+func (c *ShardCounters) Snapshot() ShardSnapshot {
+	s := ShardSnapshot{
+		Submitted:      c.submitted.Load(),
+		Admitted:       c.admitted.Load(),
+		Observations:   c.observations.Load(),
+		Batches:        c.batches.Load(),
+		FullFlushes:    c.fullFlushes.Load(),
+		TimeoutFlushes: c.timeoutFlushes.Load(),
+		MaxLatency:     time.Duration(c.maxLatencyNs.Load()),
+	}
+	if s.Submitted > 0 {
+		s.MeanLatency = time.Duration(c.latencyNs.Load() / s.Submitted)
+	}
+	if s.Batches > 0 {
+		s.MeanBatchSize = float64(s.Submitted) / float64(s.Batches)
+	}
+	return s
+}
+
+// Merge sums per-shard snapshots into one server-wide view: counts add,
+// MeanLatency is submission-weighted and MaxLatency is the maximum.
+func Merge(snaps []ShardSnapshot) ShardSnapshot {
+	var out ShardSnapshot
+	var latNs int64
+	for _, s := range snaps {
+		out.Submitted += s.Submitted
+		out.Admitted += s.Admitted
+		out.Observations += s.Observations
+		out.Batches += s.Batches
+		out.FullFlushes += s.FullFlushes
+		out.TimeoutFlushes += s.TimeoutFlushes
+		latNs += int64(s.MeanLatency) * s.Submitted
+		if s.MaxLatency > out.MaxLatency {
+			out.MaxLatency = s.MaxLatency
+		}
+	}
+	if out.Submitted > 0 {
+		out.MeanLatency = time.Duration(latNs / out.Submitted)
+	}
+	if out.Batches > 0 {
+		out.MeanBatchSize = float64(out.Submitted) / float64(out.Batches)
+	}
+	return out
+}

@@ -79,17 +79,7 @@ type adaptiveBase struct {
 }
 
 func (b *adaptiveBase) observe(j *trace.Job, o sim.Outcome) {
-	spillFrac := 0.0
-	spilledAt := -1.0
-	if o.WantedSSD && o.SpilledAt >= 0 {
-		spilledAt = o.SpilledAt
-		spillFrac = 1 - o.FracOnSSD
-	}
-	tcioRate := 0.0
-	if j.LifetimeSec > 0 {
-		tcioRate = b.cm.TCIO(j) / j.LifetimeSec
-	}
-	b.adaptive.Observe(j.ArrivalSec, j.EndSec(), o.WantedSSD, spilledAt, spillFrac, tcioRate)
+	b.adaptive.Observe(sim.SpilloverFeedback(j, o, b.cm))
 }
 
 // ACTTrace exposes the controller time series (Fig. 16).

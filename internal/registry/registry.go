@@ -45,11 +45,57 @@ type Registry struct {
 	entries map[string][]entry // workload -> versions ascending
 	active  map[string]int     // workload -> active version number
 	dir     string             // optional persistence directory
+	subs    map[string]map[int]func(Version)
+	nextSub int
 }
 
 // New creates an in-memory registry.
 func New() *Registry {
-	return &Registry{entries: map[string][]entry{}, active: map[string]int{}}
+	return &Registry{
+		entries: map[string][]entry{},
+		active:  map[string]int{},
+		subs:    map[string]map[int]func(Version){},
+	}
+}
+
+// Subscribe registers fn to be called whenever the workload's active
+// version changes (Publish or Rollback). Callbacks run synchronously on
+// the publishing goroutine, outside the registry lock, so they may call
+// back into the registry (e.g. Resolve) but should not block for long.
+// Under concurrent publishes, callbacks can be delivered out of order,
+// so the Version payload may be stale by the time a callback runs —
+// subscribers that care about the current version should re-Resolve
+// inside the callback rather than trusting the payload (as
+// internal/serve does). The returned cancel function removes the
+// subscription.
+func (r *Registry) Subscribe(workload string, fn func(Version)) (cancel func()) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	id := r.nextSub
+	r.nextSub++
+	if r.subs[workload] == nil {
+		r.subs[workload] = map[int]func(Version){}
+	}
+	r.subs[workload][id] = fn
+	return func() {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		delete(r.subs[workload], id)
+	}
+}
+
+// notify snapshots the workload's subscribers under the read lock and
+// invokes them without it.
+func (r *Registry) notify(workload string, v Version) {
+	r.mu.RLock()
+	fns := make([]func(Version), 0, len(r.subs[workload]))
+	for _, fn := range r.subs[workload] {
+		fns = append(fns, fn)
+	}
+	r.mu.RUnlock()
+	for _, fn := range fns {
+		fn(v)
+	}
 }
 
 // NewPersistent creates a registry that writes every published version
@@ -73,17 +119,19 @@ func (r *Registry) Publish(workload string, model *core.CategoryModel, trainedAt
 		return Version{}, fmt.Errorf("registry: nil model")
 	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	n := len(r.entries[workload]) + 1
 	v := Version{Workload: workload, Number: n, TrainedAtSec: trainedAtSec}
 	if r.dir != "" {
 		path := r.versionPath(workload, n)
 		if err := model.SaveFile(path); err != nil {
+			r.mu.Unlock()
 			return Version{}, err
 		}
 	}
 	r.entries[workload] = append(r.entries[workload], entry{version: v, model: model})
 	r.active[workload] = n
+	r.mu.Unlock()
+	r.notify(workload, v)
 	return v, nil
 }
 
@@ -109,12 +157,15 @@ func (r *Registry) Resolve(workload string) (*core.CategoryModel, Version, error
 // affects only its own workload — the blast-radius property of §2.3).
 func (r *Registry) Rollback(workload string, toVersion int) error {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	versions := r.entries[workload]
 	if toVersion < 1 || toVersion > len(versions) {
+		r.mu.Unlock()
 		return fmt.Errorf("registry: %q has no version %d", workload, toVersion)
 	}
 	r.active[workload] = toVersion
+	v := versions[toVersion-1].version
+	r.mu.Unlock()
+	r.notify(workload, v)
 	return nil
 }
 

@@ -194,3 +194,70 @@ func TestRegistryConcurrentAccess(t *testing.T) {
 		t.Errorf("total versions = %d, want 160", total)
 	}
 }
+
+func TestSubscribeNotifiesOnActivation(t *testing.T) {
+	r := New()
+	m := tinyModel(t, 9)
+
+	var mu sync.Mutex
+	var got []Version
+	cancel := r.Subscribe("w", func(v Version) {
+		mu.Lock()
+		got = append(got, v)
+		mu.Unlock()
+	})
+
+	// Other workloads must not notify this subscription.
+	if _, err := r.Publish("other", m, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Publish("w", m, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Publish("w", m, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Rollback("w", 1); err != nil {
+		t.Fatal(err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 3 {
+		t.Fatalf("got %d notifications, want 3 (%v)", len(got), got)
+	}
+	if got[0].Number != 1 || got[1].Number != 2 || got[2].Number != 1 {
+		t.Fatalf("bad notification sequence: %v", got)
+	}
+	for _, v := range got {
+		if v.Workload != "w" {
+			t.Fatalf("notification for wrong workload: %v", v)
+		}
+	}
+
+	cancel()
+	if _, err := r.Publish("w", m, 3); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("cancelled subscription still fired: %v", got)
+	}
+}
+
+func TestSubscribeCallbackMayUseRegistry(t *testing.T) {
+	r := New()
+	m := tinyModel(t, 10)
+	resolved := 0
+	r.Subscribe("w", func(Version) {
+		if _, _, err := r.Resolve("w"); err != nil {
+			t.Errorf("resolve inside callback: %v", err)
+		}
+		resolved++
+	})
+	if _, err := r.Publish("w", m, 0); err != nil {
+		t.Fatal(err)
+	}
+	if resolved != 1 {
+		t.Fatalf("callback ran %d times, want 1", resolved)
+	}
+}

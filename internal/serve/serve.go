@@ -1,0 +1,479 @@
+// Package serve is the concurrent placement-serving layer: it turns the
+// offline byom pipeline (category model + Algorithm 1 controller) into
+// an online service path able to absorb bursty, multi-stream job
+// traffic.
+//
+// Architecture:
+//
+//   - Incoming jobs are partitioned across N shards by their recurring
+//     identity (TemplateKey), so a template's admission feedback always
+//     reaches the controller that decides its placements.
+//   - Each shard runs one worker goroutine that owns a private
+//     Algorithm 1 controller and accumulates requests into batches
+//     (single-flight accumulation: the batch closes when it reaches
+//     BatchSize or when FlushInterval elapses after its first request).
+//   - Batches are classified with the flattened gbdt.Forest batch
+//     kernel — walking each tree over the whole row block — which is
+//     several times faster than per-row Model.Predict.
+//   - The category model is resolved through internal/registry and
+//     re-compiled + atomically swapped whenever the workload publishes
+//     a new version or rolls back, without pausing traffic.
+//
+// Time inside the server is the trace's virtual clock: decisions use
+// each job's ArrivalSec, mirroring the simulator's semantics, so a
+// replayed week of traffic exercises the same controller trajectory
+// regardless of wall-clock speed.
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/gbdt"
+	"repro/internal/metrics"
+	"repro/internal/registry"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Config tunes the serving layer.
+type Config struct {
+	// Shards is the number of admission shards (>= 1). Each shard has
+	// its own Algorithm 1 controller and worker goroutine.
+	Shards int
+	// BatchSize is the max requests classified per inference batch.
+	BatchSize int
+	// FlushInterval bounds how long a partial batch may wait for more
+	// requests before being flushed (the max added queueing latency).
+	FlushInterval time.Duration
+	// QueueDepth is the per-shard request buffer (defaults to
+	// 4*BatchSize).
+	QueueDepth int
+	// Adaptive configures each shard's controller. NumCategories must
+	// match the served model.
+	Adaptive core.AdaptiveConfig
+}
+
+// DefaultConfig returns serving parameters sized for a single machine:
+// 8 shards, 64-job batches, 2 ms flush.
+func DefaultConfig(numCategories int) Config {
+	return Config{
+		Shards:        8,
+		BatchSize:     64,
+		FlushInterval: 2 * time.Millisecond,
+		Adaptive:      core.DefaultAdaptiveConfig(numCategories),
+	}
+}
+
+func (c *Config) validate() error {
+	switch {
+	case c.Shards < 1:
+		return fmt.Errorf("serve: Shards must be >= 1, got %d", c.Shards)
+	case c.BatchSize < 1:
+		return fmt.Errorf("serve: BatchSize must be >= 1, got %d", c.BatchSize)
+	case c.FlushInterval <= 0:
+		return fmt.Errorf("serve: FlushInterval must be positive, got %s", c.FlushInterval)
+	case c.QueueDepth < 0:
+		return fmt.Errorf("serve: QueueDepth must be >= 0, got %d", c.QueueDepth)
+	}
+	return c.Adaptive.Validate()
+}
+
+// Decision is the served placement verdict for one job.
+type Decision struct {
+	// Admit is true when the job should be placed on SSD.
+	Admit bool
+	// Category is the model's predicted importance category.
+	Category int
+	// ModelVersion is the registry version that produced Category.
+	ModelVersion int
+	// Shard is the admission shard that served the decision.
+	Shard int
+}
+
+// activeModel is the atomically swapped inference state.
+type activeModel struct {
+	model   *core.CategoryModel
+	forest  *gbdt.Forest
+	version registry.Version
+}
+
+// message is one unit of shard work: a span of placement requests from
+// one submitter (all routed to this shard) or a feedback observation.
+// Spans keep the channel cost per job at ~1/len(jobs) of a send.
+type message struct {
+	// Placement spans:
+	jobs []*trace.Job
+	outs []*Decision // parallel to jobs
+	wg   *sync.WaitGroup
+	enq  time.Time
+	// Observations (jobs == nil):
+	job     *trace.Job
+	outcome sim.Outcome
+}
+
+// Server is the concurrent placement-serving front-end. Create with
+// New, serve with Submit/SubmitBatch, feed outcomes back with Observe,
+// and Close when done. All methods are safe for concurrent use.
+type Server struct {
+	cfg      Config
+	cm       *cost.Model
+	workload string
+	reg      *registry.Registry
+	active   atomic.Pointer[activeModel]
+	// installMu serializes reload(): concurrent publish callbacks
+	// otherwise race resolve-vs-install and a stale version could
+	// overwrite a newer one.
+	installMu sync.Mutex
+	swaps     atomic.Int64
+	shards    []*shard
+	unsub     func()
+
+	mu     sync.RWMutex // guards closed vs in-flight submits
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// shard is one admission partition: a request queue, a worker, a
+// private controller and its counters. amu serializes controller access
+// between the worker and snapshot readers; the worker holds it
+// uncontended on the hot path.
+type shard struct {
+	id       int
+	reqs     chan message
+	amu      sync.Mutex
+	adaptive *core.Adaptive
+	counters metrics.ShardCounters
+}
+
+// New builds a server that resolves the workload's category model from
+// the registry and tracks it: whenever the workload publishes a new
+// version (or rolls back), the compiled model is swapped atomically
+// under load. The model's category count must match cfg.Adaptive.
+func New(reg *registry.Registry, workload string, cm *cost.Model, cfg Config) (*Server, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = 4 * cfg.BatchSize
+	}
+	s := &Server{cfg: cfg, cm: cm, workload: workload, reg: reg}
+	// Subscribe before the initial resolve: a version published in
+	// between is then picked up by its callback instead of being
+	// silently missed.
+	s.unsub = reg.Subscribe(workload, func(registry.Version) {
+		_ = s.reload() // an incompatible model keeps the old one serving
+	})
+	if err := s.reload(); err != nil {
+		s.unsub()
+		return nil, err
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		a, err := core.NewAdaptive(cfg.Adaptive)
+		if err != nil {
+			s.unsub()
+			return nil, err
+		}
+		sh := &shard{id: i, reqs: make(chan message, cfg.QueueDepth), adaptive: a}
+		s.shards = append(s.shards, sh)
+		s.wg.Add(1)
+		go s.run(sh)
+	}
+	return s, nil
+}
+
+// reload resolves the workload's currently active version and installs
+// it. Resolve and install happen under one lock, so concurrent reloads
+// serialize and the last one to finish reflects a then-current resolve
+// — a stale version can never overwrite a newer install. Re-resolving
+// (instead of trusting a callback payload) also collapses a burst of
+// publishes to whichever version is active now, and makes rollbacks
+// install the rolled-back-to version.
+func (s *Server) reload() error {
+	s.installMu.Lock()
+	defer s.installMu.Unlock()
+	model, version, err := s.reg.Resolve(s.workload)
+	if err != nil {
+		return err
+	}
+	if cur := s.active.Load(); cur != nil && cur.version == version {
+		return nil // already serving this version
+	}
+	if model.NumCategories() != s.cfg.Adaptive.NumCategories {
+		return fmt.Errorf("serve: model %s v%d has %d categories, controller expects %d",
+			version.Workload, version.Number, model.NumCategories(), s.cfg.Adaptive.NumCategories)
+	}
+	forest, err := model.Model.Compile()
+	if err != nil {
+		return fmt.Errorf("serve: compiling %s v%d: %w", version.Workload, version.Number, err)
+	}
+	if s.active.Swap(&activeModel{model: model, forest: forest, version: version}) != nil {
+		s.swaps.Add(1)
+	}
+	return nil
+}
+
+// ModelVersion returns the currently serving registry version number.
+func (s *Server) ModelVersion() int { return s.active.Load().version.Number }
+
+// Swaps returns how many hot-swaps have been applied since start.
+func (s *Server) Swaps() int64 { return s.swaps.Load() }
+
+// shardIndex routes a job to its admission shard by recurring identity,
+// so feedback for a template reaches the controller that admits it.
+func (s *Server) shardIndex(j *trace.Job) int {
+	// Inlined FNV-1a over the TemplateKey bytes (Pipeline + "/" + Step):
+	// this runs once per job on the submit path, and hash.Hash32 plus
+	// the key concatenation would cost three heap allocations per call.
+	const offset32, prime32 = 2166136261, 16777619
+	h := uint32(offset32)
+	for i := 0; i < len(j.Pipeline); i++ {
+		h = (h ^ uint32(j.Pipeline[i])) * prime32
+	}
+	h = (h ^ '/') * prime32
+	for i := 0; i < len(j.Step); i++ {
+		h = (h ^ uint32(j.Step[i])) * prime32
+	}
+	// Modulo in uint32: int(h) would go negative on 32-bit platforms
+	// for half of all hashes.
+	return int(h % uint32(len(s.shards)))
+}
+
+// Submit requests a placement decision for one job, blocking until the
+// decision is served (at most roughly FlushInterval plus inference).
+func (s *Server) Submit(j *trace.Job) (Decision, error) {
+	var d Decision
+	var wg sync.WaitGroup
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return Decision{}, fmt.Errorf("serve: server is closed")
+	}
+	wg.Add(1)
+	s.shards[s.shardIndex(j)].reqs <- message{
+		jobs: []*trace.Job{j}, outs: []*Decision{&d}, wg: &wg, enq: time.Now(),
+	}
+	s.mu.RUnlock()
+	wg.Wait()
+	return d, nil
+}
+
+// SubmitBatch requests decisions for a stream of jobs, fanning them out
+// across shards as one span per shard and blocking until every decision
+// is in. out is reused when large enough. This is the preferred entry
+// point for bursty streams: spans keep the queue cost per job tiny and
+// deep per-shard queues let workers amortize inference over full
+// batches.
+func (s *Server) SubmitBatch(jobs []*trace.Job, out []Decision) ([]Decision, error) {
+	if cap(out) < len(jobs) {
+		out = make([]Decision, len(jobs))
+	}
+	out = out[:len(jobs)]
+	if len(jobs) == 0 {
+		return out, nil
+	}
+	nsh := len(s.shards)
+	spanJobs := make([][]*trace.Job, nsh)
+	spanOuts := make([][]*Decision, nsh)
+	for i, j := range jobs {
+		sid := s.shardIndex(j)
+		spanJobs[sid] = append(spanJobs[sid], j)
+		spanOuts[sid] = append(spanOuts[sid], &out[i])
+	}
+	var wg sync.WaitGroup
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return out, fmt.Errorf("serve: server is closed")
+	}
+	now := time.Now()
+	for sid := 0; sid < nsh; sid++ {
+		if len(spanJobs[sid]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		s.shards[sid].reqs <- message{jobs: spanJobs[sid], outs: spanOuts[sid], wg: &wg, enq: now}
+	}
+	s.mu.RUnlock()
+	wg.Wait()
+	return out, nil
+}
+
+// Observe feeds a placement outcome back to the job's admission shard
+// (the spillover signal Algorithm 1 regulates on). Outcomes should be
+// reported in roughly arrival order, as the simulator does.
+func (s *Server) Observe(j *trace.Job, o sim.Outcome) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return fmt.Errorf("serve: server is closed")
+	}
+	s.shards[s.shardIndex(j)].reqs <- message{job: j, outcome: o}
+	return nil
+}
+
+// Close drains in-flight requests, stops the workers and detaches the
+// registry subscription. The server cannot be reused.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	if s.unsub != nil {
+		s.unsub()
+	}
+	for _, sh := range s.shards {
+		close(sh.reqs)
+	}
+	s.wg.Wait()
+	return nil
+}
+
+// ShardSnapshots returns per-shard counter snapshots.
+func (s *Server) ShardSnapshots() []metrics.ShardSnapshot {
+	out := make([]metrics.ShardSnapshot, len(s.shards))
+	for i, sh := range s.shards {
+		out[i] = sh.counters.Snapshot()
+	}
+	return out
+}
+
+// Stats returns the server-wide merged counter snapshot.
+func (s *Server) Stats() metrics.ShardSnapshot {
+	return metrics.Merge(s.ShardSnapshots())
+}
+
+// ACT returns each shard's current admission category threshold (the
+// Fig. 16 controller state, one value per shard).
+func (s *Server) ACT() []int {
+	out := make([]int, len(s.shards))
+	for i, sh := range s.shards {
+		sh.amu.Lock()
+		out[i] = sh.adaptive.ACT()
+		sh.amu.Unlock()
+	}
+	return out
+}
+
+// worker holds a shard worker's reusable batch state.
+type worker struct {
+	batch   []message
+	jobs    int // placement jobs accumulated across batch spans
+	rows    [][]float64
+	classes []int
+	scratch []float64
+}
+
+// run is the shard worker loop: single-flight batch accumulation with a
+// max-latency flush, then batched classification and admission. The
+// batch closes when the accumulated placement jobs reach BatchSize (a
+// single larger span still processes whole) or when FlushInterval
+// elapses after the batch's first message.
+func (s *Server) run(sh *shard) {
+	defer s.wg.Done()
+	w := &worker{}
+	timer := time.NewTimer(s.cfg.FlushInterval)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		first, ok := <-sh.reqs
+		if !ok {
+			return
+		}
+		w.batch = append(w.batch[:0], first)
+		w.jobs = len(first.jobs)
+		timer.Reset(s.cfg.FlushInterval)
+		timedOut := false
+	accumulate:
+		for w.jobs < s.cfg.BatchSize {
+			select {
+			case m, ok := <-sh.reqs:
+				if !ok {
+					s.process(sh, w, timedOut)
+					return
+				}
+				w.batch = append(w.batch, m)
+				w.jobs += len(m.jobs)
+			case <-timer.C:
+				timedOut = true
+				break accumulate
+			}
+		}
+		if !timedOut && !timer.Stop() {
+			<-timer.C
+		}
+		s.process(sh, w, timedOut)
+	}
+}
+
+// process serves one accumulated batch on the shard worker goroutine.
+// Observations are applied first (they carry strictly older outcomes),
+// then all placement rows are encoded and classified in one forest
+// batch, then admissions are decided per job on the shard's controller.
+func (s *Server) process(sh *shard, w *worker, timedOut bool) {
+	if len(w.batch) == 0 {
+		return
+	}
+	am := s.active.Load()
+	for len(w.rows) < w.jobs {
+		w.rows = append(w.rows, nil)
+	}
+	n := 0
+	for i := range w.batch {
+		m := &w.batch[i]
+		if m.jobs == nil {
+			s.observe(sh, m)
+			continue
+		}
+		for _, j := range m.jobs {
+			w.rows[n] = am.model.Encoder.Encode(j, w.rows[n])
+			n++
+		}
+	}
+	if n == 0 {
+		return
+	}
+	w.classes, w.scratch = am.forest.PredictClassBatch(w.rows[:n], w.classes, w.scratch)
+	now := time.Now()
+	sh.amu.Lock()
+	n = 0
+	for i := range w.batch {
+		m := &w.batch[i]
+		if m.jobs == nil {
+			continue
+		}
+		latency := now.Sub(m.enq)
+		for k, j := range m.jobs {
+			cat := w.classes[n]
+			n++
+			admit := sh.adaptive.Admit(cat, j.ArrivalSec)
+			*m.outs[k] = Decision{
+				Admit:        admit,
+				Category:     cat,
+				ModelVersion: am.version.Number,
+				Shard:        sh.id,
+			}
+			sh.counters.RecordDecision(admit, latency)
+		}
+		m.wg.Done()
+	}
+	sh.amu.Unlock()
+	sh.counters.RecordBatch(timedOut)
+}
+
+// observe applies one outcome to the shard controller using the same
+// spillover accounting as the offline policies.
+func (s *Server) observe(sh *shard, m *message) {
+	sh.amu.Lock()
+	sh.adaptive.Observe(sim.SpilloverFeedback(m.job, m.outcome, s.cm))
+	sh.amu.Unlock()
+	sh.counters.RecordObservation()
+}

@@ -1,0 +1,416 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/registry"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+const testCategories = 5
+
+// fixture bundles the shared serving test environment: a small trained
+// model and a stream of held-out jobs. The model and jobs are shared
+// read-only across tests; every test publishes into its own registry.
+type fixture struct {
+	cm    *cost.Model
+	model *core.CategoryModel
+	jobs  []*trace.Job
+}
+
+// newRegistry publishes the fixture model as version 1 of workload "w"
+// in a fresh registry.
+func (fx fixture) newRegistry(t *testing.T) *registry.Registry {
+	t.Helper()
+	reg := registry.New()
+	if _, err := reg.Publish("w", fx.model, 0); err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+var (
+	fixtureOnce sync.Once
+	fixtureVal  fixture
+)
+
+// testFixture trains one small category model and caches it for all
+// tests (training dominates test runtime otherwise).
+func testFixture(t *testing.T) fixture {
+	t.Helper()
+	fixtureOnce.Do(func() {
+		cfg := trace.DefaultGeneratorConfig("serve-test", 11)
+		cfg.DurationSec = 2 * 24 * 3600
+		cfg.NumUsers = 6
+		tr := trace.NewGenerator(cfg).Generate()
+		train, test := tr.SplitAt(tr.Duration() / 2)
+		cm := cost.Default()
+		opts := core.DefaultTrainOptions()
+		opts.NumCategories = testCategories
+		opts.GBDT.NumRounds = 6
+		opts.GBDT.MaxDepth = 4
+		model, err := core.TrainCategoryModel(train.Jobs, cm, opts)
+		if err != nil {
+			panic(err)
+		}
+		fixtureVal = fixture{cm: cm, model: model, jobs: test.Jobs}
+	})
+	if fixtureVal.model == nil {
+		t.Fatal("fixture setup failed")
+	}
+	return fixtureVal
+}
+
+func testConfig() Config {
+	cfg := DefaultConfig(testCategories)
+	cfg.Shards = 4
+	cfg.BatchSize = 16
+	cfg.FlushInterval = time.Millisecond
+	return cfg
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, fixture, *registry.Registry) {
+	t.Helper()
+	fx := testFixture(t)
+	reg := fx.newRegistry(t)
+	srv, err := New(reg, "w", fx.cm, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, fx, reg
+}
+
+func TestServeMatchesModelPredictions(t *testing.T) {
+	srv, fx, _ := newTestServer(t, testConfig())
+	jobs := fx.jobs
+	if len(jobs) > 300 {
+		jobs = jobs[:300]
+	}
+	decisions, err := srv.SubmitBatch(jobs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, j := range jobs {
+		d := decisions[i]
+		if want := fx.model.Predict(j); d.Category != want {
+			t.Fatalf("job %d: served category %d, model predicts %d", i, d.Category, want)
+		}
+		if d.ModelVersion != 1 {
+			t.Fatalf("job %d: served by version %d, want 1", i, d.ModelVersion)
+		}
+		if d.Shard < 0 || d.Shard >= 4 {
+			t.Fatalf("job %d: bad shard %d", i, d.Shard)
+		}
+	}
+	stats := srv.Stats()
+	if stats.Submitted != int64(len(jobs)) {
+		t.Fatalf("stats count %d submissions, want %d", stats.Submitted, len(jobs))
+	}
+	if stats.Batches == 0 || stats.MeanBatchSize < 1 {
+		t.Fatalf("no batching recorded: %+v", stats)
+	}
+}
+
+func TestShardRoutingIsStable(t *testing.T) {
+	srv, fx, _ := newTestServer(t, testConfig())
+	j := fx.jobs[0]
+	d1, err := srv.Submit(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		d2, err := srv.Submit(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d2.Shard != d1.Shard {
+			t.Fatalf("job moved from shard %d to %d between submissions", d1.Shard, d2.Shard)
+		}
+	}
+}
+
+// TestConcurrentSubmitAcrossShards hammers the server from 8 submitter
+// goroutines (run with -race).
+func TestConcurrentSubmitAcrossShards(t *testing.T) {
+	srv, fx, _ := newTestServer(t, testConfig())
+	const submitters = 8
+	per := len(fx.jobs) / submitters
+	if per > 250 {
+		per = 250
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, submitters)
+	for w := 0; w < submitters; w++ {
+		jobs := fx.jobs[w*per : (w+1)*per]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var out []Decision
+			for len(jobs) > 0 {
+				chunk := 32
+				if chunk > len(jobs) {
+					chunk = len(jobs)
+				}
+				var err error
+				out, err = srv.SubmitBatch(jobs[:chunk], out)
+				if err != nil {
+					errs <- err
+					return
+				}
+				for _, d := range out {
+					if d.Category < 0 || d.Category >= testCategories {
+						errs <- errCategory(d.Category)
+						return
+					}
+				}
+				jobs = jobs[chunk:]
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	stats := srv.Stats()
+	if want := int64(submitters * per); stats.Submitted != want {
+		t.Fatalf("stats count %d submissions, want %d", stats.Submitted, want)
+	}
+}
+
+type errCategory int
+
+func (e errCategory) Error() string { return "category out of range" }
+
+// TestHotSwapUnderLoad publishes new model versions while submitters
+// are in flight: the swap must be atomic (every decision carries a
+// version that was active) and lossless (run with -race).
+func TestHotSwapUnderLoad(t *testing.T) {
+	srv, fx, reg := newTestServer(t, testConfig())
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var served atomic64
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var out []Decision
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				jobs := fx.jobs[(w*97+i*31)%(len(fx.jobs)-32):]
+				var err error
+				out, err = srv.SubmitBatch(jobs[:32], out)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for _, d := range out {
+					if d.ModelVersion < 1 || d.ModelVersion > 3 {
+						t.Errorf("decision carries unknown model version %d", d.ModelVersion)
+						return
+					}
+					served.add(1)
+				}
+			}
+		}(w)
+	}
+
+	// Publish two more versions and roll back mid-traffic.
+	for v := 2; v <= 3; v++ {
+		time.Sleep(5 * time.Millisecond)
+		if _, err := reg.Publish("w", fx.model, float64(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, time.Second, func() bool { return srv.ModelVersion() == 3 })
+	if err := reg.Rollback("w", 1); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, time.Second, func() bool { return srv.ModelVersion() == 1 })
+	close(stop)
+	wg.Wait()
+
+	if srv.Swaps() < 3 {
+		t.Fatalf("expected >= 3 hot swaps, got %d", srv.Swaps())
+	}
+	if served.load() == 0 {
+		t.Fatal("no decisions served during the swap storm")
+	}
+}
+
+// TestSwapRejectsIncompatibleModel keeps the old model serving when a
+// published version has the wrong category count.
+func TestSwapRejectsIncompatibleModel(t *testing.T) {
+	fx := testFixture(t)
+	reg := registry.New()
+	if _, err := reg.Publish("iso", fx.model, 0); err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig()
+	srv, err := New(reg, "iso", fx.cm, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	opts := core.DefaultTrainOptions()
+	opts.NumCategories = 3 // mismatched N
+	opts.GBDT.NumRounds = 2
+	opts.GBDT.MaxDepth = 2
+	bad, err := core.TrainCategoryModel(fx.jobs[:400], fx.cm, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Publish("iso", bad, 1); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if got := srv.ModelVersion(); got != 1 {
+		t.Fatalf("incompatible model was installed (serving v%d)", got)
+	}
+	if d, err := srv.Submit(fx.jobs[0]); err != nil || d.ModelVersion != 1 {
+		t.Fatalf("serving broken after rejected swap: %+v, %v", d, err)
+	}
+}
+
+// TestBatchFlushTimeout submits fewer jobs than BatchSize and checks
+// the max-latency flush serves them promptly.
+func TestBatchFlushTimeout(t *testing.T) {
+	cfg := testConfig()
+	cfg.Shards = 1
+	cfg.BatchSize = 1024
+	cfg.FlushInterval = 5 * time.Millisecond
+	srv, fx, _ := newTestServer(t, cfg)
+
+	start := time.Now()
+	if _, err := srv.Submit(fx.jobs[0]); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if elapsed > time.Second {
+		t.Fatalf("single submit took %s; flush timer did not fire", elapsed)
+	}
+	stats := srv.Stats()
+	if stats.TimeoutFlushes == 0 {
+		t.Fatalf("expected a timeout flush, got %+v", stats)
+	}
+	if stats.FullFlushes != 0 {
+		t.Fatalf("a 1-job batch cannot be a full flush: %+v", stats)
+	}
+}
+
+// TestObserveMovesACT drives heavy spillover feedback into one shard
+// and checks the controller tightens admission.
+func TestObserveMovesACT(t *testing.T) {
+	cfg := testConfig()
+	cfg.Shards = 1
+	cfg.Adaptive.DecisionIntervalSec = 10
+	cfg.Adaptive.LookBackSec = 100
+	srv, fx, _ := newTestServer(t, cfg)
+
+	j := fx.jobs[0]
+	if act := srv.ACT()[0]; act != 1 {
+		t.Fatalf("initial ACT = %d, want 1", act)
+	}
+	// Feed outcomes where everything wanted SSD and spilled entirely.
+	base := j.ArrivalSec
+	for i := 0; i < 50; i++ {
+		jj := *j
+		jj.ArrivalSec = base + float64(i)
+		jj.LifetimeSec = 5
+		if err := srv.Observe(&jj, sim.Outcome{WantedSSD: true, FracOnSSD: 0, SpilledAt: jj.ArrivalSec}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Trigger controller updates with submissions past the decision
+	// interval; under 100% spillover ACT must ratchet up.
+	for i := 1; i <= 3; i++ {
+		jj := *j
+		jj.ArrivalSec = base + 50 + float64(i)*20
+		if _, err := srv.Submit(&jj); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if act := srv.ACT()[0]; act <= 1 {
+		t.Fatalf("ACT did not rise under total spillover: %d", act)
+	}
+}
+
+func TestSubmitAfterClose(t *testing.T) {
+	srv, fx, _ := newTestServer(t, testConfig())
+	if _, err := srv.Submit(fx.jobs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal("second Close must be a no-op, got", err)
+	}
+	if _, err := srv.Submit(fx.jobs[0]); err == nil {
+		t.Fatal("Submit after Close must fail")
+	}
+	if err := srv.Observe(fx.jobs[0], sim.Outcome{}); err == nil {
+		t.Fatal("Observe after Close must fail")
+	}
+}
+
+func TestNewValidatesConfig(t *testing.T) {
+	fx := testFixture(t)
+	reg := fx.newRegistry(t)
+	bad := []func(*Config){
+		func(c *Config) { c.Shards = 0 },
+		func(c *Config) { c.BatchSize = 0 },
+		func(c *Config) { c.FlushInterval = 0 },
+		func(c *Config) { c.Adaptive.NumCategories = 1 },
+	}
+	for i, mutate := range bad {
+		cfg := testConfig()
+		mutate(&cfg)
+		if _, err := New(reg, "w", fx.cm, cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+	// Category-count mismatch between model and controller.
+	cfg := testConfig()
+	cfg.Adaptive = core.DefaultAdaptiveConfig(7)
+	if _, err := New(reg, "w", fx.cm, cfg); err == nil {
+		t.Error("mismatched category count accepted")
+	}
+	// Unknown workload.
+	if _, err := New(reg, "nope", fx.cm, testConfig()); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+// atomic64 is a tiny test helper counter.
+type atomic64 struct {
+	mu sync.Mutex
+	v  int64
+}
+
+func (a *atomic64) add(d int64) { a.mu.Lock(); a.v += d; a.mu.Unlock() }
+func (a *atomic64) load() int64 { a.mu.Lock(); defer a.mu.Unlock(); return a.v }
+
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition not reached before timeout")
+}

@@ -1,0 +1,24 @@
+package sim
+
+import (
+	"repro/internal/cost"
+	"repro/internal/trace"
+)
+
+// SpilloverFeedback converts a job's placement outcome into the
+// observation arguments of the Algorithm 1 controller
+// (core.Adaptive.Observe): whether the job wanted SSD, when and how
+// much of it spilled, and its TCIO rate had it run on HDD. It is the
+// single definition of this mapping, shared by the offline policies and
+// the online serving layer.
+func SpilloverFeedback(j *trace.Job, o Outcome, cm *cost.Model) (arrival, end float64, wantedSSD bool, spilledAt, spillFrac, tcioRate float64) {
+	spilledAt = -1
+	if o.WantedSSD && o.SpilledAt >= 0 {
+		spilledAt = o.SpilledAt
+		spillFrac = 1 - o.FracOnSSD
+	}
+	if j.LifetimeSec > 0 {
+		tcioRate = cm.TCIO(j) / j.LifetimeSec
+	}
+	return j.ArrivalSec, j.EndSec(), o.WantedSSD, spilledAt, spillFrac, tcioRate
+}
