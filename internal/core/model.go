@@ -26,6 +26,10 @@ type TrainOptions struct {
 
 // DefaultTrainOptions mirrors the paper's setup (15-class model,
 // depth-6 trees) with a tree count sized for laptop-scale traces.
+// GBDT.Workers is left at 0 (GOMAXPROCS): training parallelism never
+// changes the resulting model, so callers only set it to bound CPU use
+// when many models train concurrently (per-cluster or per-category
+// retrain fleets).
 func DefaultTrainOptions() TrainOptions {
 	cfg := gbdt.DefaultConfig()
 	cfg.MaxDepth = 6

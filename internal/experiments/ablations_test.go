@@ -8,7 +8,7 @@ import (
 
 func TestGranularityAblation(t *testing.T) {
 	if testing.Short() {
-		t.Skip("slow experiment test: skipped in -short mode")
+		t.Skip("still ~10s under the race detector even on the fast trainer")
 	}
 	res, err := Granularity(testOpts())
 	if err != nil {
@@ -46,7 +46,7 @@ func TestGranularityAblation(t *testing.T) {
 
 func TestLabelDesignAblation(t *testing.T) {
 	if testing.Short() {
-		t.Skip("slow experiment test: skipped in -short mode")
+		t.Skip("~5s+ under the race detector even on the fast trainer")
 	}
 	res, err := LabelDesign(testOpts())
 	if err != nil {
@@ -89,9 +89,6 @@ func TestLabelDesignAblation(t *testing.T) {
 }
 
 func TestWindowSemanticsAblation(t *testing.T) {
-	if testing.Short() {
-		t.Skip("slow experiment test: skipped in -short mode")
-	}
 	res, err := WindowSemantics(testOpts())
 	if err != nil {
 		t.Fatal(err)

@@ -8,7 +8,7 @@ import (
 
 func TestCostSensitivity(t *testing.T) {
 	if testing.Short() {
-		t.Skip("slow experiment test: skipped in -short mode")
+		t.Skip("still ~10s under the race detector even on the fast trainer")
 	}
 	res, err := CostSensitivity(testOpts())
 	if err != nil {

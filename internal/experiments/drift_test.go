@@ -7,9 +7,6 @@ import (
 )
 
 func TestDriftStaleVsRetrained(t *testing.T) {
-	if testing.Short() {
-		t.Skip("slow experiment test: skipped in -short mode")
-	}
 	res, err := Drift(testOpts())
 	if err != nil {
 		t.Fatal(err)

@@ -37,6 +37,11 @@ type Options struct {
 	GBDTRounds int
 	// NumCategories is N for the category models.
 	NumCategories int
+	// TrainWorkers bounds per-model training parallelism (0 =
+	// GOMAXPROCS). Training is deterministic at any worker count, so
+	// this only trades single-model latency against fleet throughput
+	// when experiments train many models side by side.
+	TrainWorkers int
 }
 
 // DefaultOptions returns paper-style settings scaled to commodity
@@ -102,6 +107,7 @@ func TrainModelOn(jobs []*trace.Job, cm *cost.Model, opts Options) (*core.Catego
 	topts.NumCategories = opts.NumCategories
 	topts.GBDT.NumRounds = opts.GBDTRounds
 	topts.GBDT.Seed = opts.Seed
+	topts.GBDT.Workers = opts.TrainWorkers
 	return core.TrainCategoryModel(jobs, cm, topts)
 }
 

@@ -109,7 +109,7 @@ func TestFig4OracleDensityPattern(t *testing.T) {
 
 func TestFig6ClusterSweep(t *testing.T) {
 	if testing.Short() {
-		t.Skip("slow experiment test: skipped in -short mode")
+		t.Skip("still ~10s under the race detector even on the fast trainer")
 	}
 	res, err := Fig6(testOpts(), 3)
 	if err != nil {
@@ -200,7 +200,7 @@ func TestFig9aInferenceFast(t *testing.T) {
 
 func TestFig9bAccuracyCurve(t *testing.T) {
 	if testing.Short() {
-		t.Skip("slow experiment test: skipped in -short mode")
+		t.Skip("~5s+ under the race detector even on the fast trainer")
 	}
 	res, err := Fig9b(testOpts())
 	if err != nil {
@@ -218,7 +218,7 @@ func TestFig9bAccuracyCurve(t *testing.T) {
 
 func TestFig9cGroupImportance(t *testing.T) {
 	if testing.Short() {
-		t.Skip("slow experiment test: skipped in -short mode")
+		t.Skip("~5s+ under the race detector even on the fast trainer")
 	}
 	opts := testOpts()
 	opts.NumCategories = 6 // fewer binary probes for test speed
@@ -253,7 +253,7 @@ func TestFig9cGroupImportance(t *testing.T) {
 
 func TestFig11TrueCategoryClose(t *testing.T) {
 	if testing.Short() {
-		t.Skip("slow experiment test: skipped in -short mode")
+		t.Skip("~5s+ under the race detector even on the fast trainer")
 	}
 	res, err := Fig11(testOpts())
 	if err != nil {
@@ -276,9 +276,6 @@ func TestFig11TrueCategoryClose(t *testing.T) {
 }
 
 func TestFig16Dynamics(t *testing.T) {
-	if testing.Short() {
-		t.Skip("slow experiment test: skipped in -short mode")
-	}
 	res, err := Fig16(testOpts())
 	if err != nil {
 		t.Fatal(err)

@@ -8,7 +8,7 @@ import (
 
 func TestImitationEnvironmentBrittleness(t *testing.T) {
 	if testing.Short() {
-		t.Skip("slow experiment test: skipped in -short mode")
+		t.Skip("~5s+ under the race detector even on the fast trainer")
 	}
 	res, err := Imitation(testOpts())
 	if err != nil {

@@ -37,11 +37,16 @@ func benchModel(b *testing.B, rows, classes, rounds int) (*Model, *Dataset) {
 	return m, ds
 }
 
-// BenchmarkTrainClassifier measures multiclass training throughput.
-func BenchmarkTrainClassifier(b *testing.B) {
+// trainBenchFixture builds the micro training fixture (15 classes over
+// numeric + categorical features).
+func trainBenchFixture(rows int) (*Dataset, []int, Config) {
 	rng := rand.New(rand.NewSource(2))
-	rows := 4000
-	ds := NewDataset(numSchema(8), rows)
+	s := &Schema{
+		Names: []string{"x0", "x1", "x2", "x3", "x4", "x5", "x6", "x7", "cat"},
+		Kinds: []FeatureKind{Numeric, Numeric, Numeric, Numeric, Numeric, Numeric, Numeric, Numeric, Categorical},
+		Cards: []int{0, 0, 0, 0, 0, 0, 0, 0, 32},
+	}
+	ds := NewDataset(s, rows)
 	labels := make([]int, rows)
 	for i := 0; i < rows; i++ {
 		var sum float64
@@ -50,13 +55,34 @@ func BenchmarkTrainClassifier(b *testing.B) {
 			ds.Set(i, f, v)
 			sum += v
 		}
-		labels[i] = ((int(sum) % 15) + 15) % 15
+		c := rng.Intn(32)
+		ds.Set(i, 8, float64(c))
+		labels[i] = ((int(sum) % 15) + 15 + c) % 15
 	}
 	cfg := DefaultConfig()
 	cfg.NumRounds = 10
+	return ds, labels, cfg
+}
+
+// BenchmarkTrainClassifierEngine measures the histogram-subtraction
+// engine's multiclass training throughput.
+func BenchmarkTrainClassifierEngine(b *testing.B) {
+	ds, labels, cfg := trainBenchFixture(4000)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := TrainClassifier(ds, labels, 15, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTrainClassifierNaive measures the legacy per-node-rebuild
+// trainer on the same fixture (the engine's speedup baseline).
+func BenchmarkTrainClassifierNaive(b *testing.B) {
+	ds, labels, cfg := trainBenchFixture(4000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := TrainClassifierNaive(ds, labels, 15, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}

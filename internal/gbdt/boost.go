@@ -18,13 +18,21 @@ type Config struct {
 	MinSamplesLeaf int     `json:"min_samples_leaf"`
 	// Lambda is the L2 regularizer on leaf weights.
 	Lambda float64 `json:"lambda"`
-	// Gamma is the minimum gain improvement required to split.
+	// Gamma is the minimum gain a split must reach to be made at all
+	// (candidates above it compete by highest gain) — both trainers
+	// share this rule.
 	Gamma float64 `json:"gamma"`
 	// Subsample is the row-sampling fraction per tree (0 < s <= 1).
 	Subsample float64 `json:"subsample"`
 	// MaxBins bounds histogram bins per numeric feature.
 	MaxBins int   `json:"max_bins"`
 	Seed    int64 `json:"seed"`
+	// Workers caps training parallelism (class trees within a round,
+	// feature scans within a node). 0 means GOMAXPROCS. Workers is an
+	// execution detail, not part of the model: the same data, Seed and
+	// hyperparameters produce a bit-identical model at any Workers
+	// value, so it is excluded from serialization.
+	Workers int `json:"-"`
 }
 
 // DefaultConfig returns hyperparameters that train the paper-scale
@@ -57,6 +65,8 @@ func (c *Config) validate() error {
 		return fmt.Errorf("gbdt: MinSamplesLeaf must be >= 1, got %d", c.MinSamplesLeaf)
 	case c.MaxBins < 2:
 		return fmt.Errorf("gbdt: MaxBins must be >= 2, got %d", c.MaxBins)
+	case c.Workers < 0:
+		return fmt.Errorf("gbdt: Workers must be >= 0, got %d", c.Workers)
 	}
 	return nil
 }
@@ -79,9 +89,9 @@ type Model struct {
 	ValLoss []float64 `json:"val_loss,omitempty"`
 }
 
-// TrainClassifier fits a multiclass softmax model. labels must be in
-// [0, numClasses).
-func TrainClassifier(ds *Dataset, labels []int, numClasses int, cfg Config) (*Model, error) {
+// validateClassifierArgs checks the shared TrainClassifier* inputs and
+// returns the per-class label counts.
+func validateClassifierArgs(ds *Dataset, labels []int, numClasses int, cfg Config) ([]float64, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -101,20 +111,198 @@ func TrainClassifier(ds *Dataset, labels []int, numClasses int, cfg Config) (*Mo
 		}
 		counts[y]++
 	}
+	if ds.N == 0 {
+		return nil, fmt.Errorf("gbdt: empty dataset")
+	}
+	return counts, nil
+}
+
+// initScoresFromCounts returns the Laplace-smoothed log-prior scores.
+func initScoresFromCounts(counts []float64, n, numClasses int) []float64 {
+	scores := make([]float64, numClasses)
+	for k := range scores {
+		p := (counts[k] + 1) / (float64(n) + float64(numClasses))
+		scores[k] = math.Log(p)
+	}
+	return scores
+}
+
+// TrainClassifier fits a multiclass softmax model. labels must be in
+// [0, numClasses).
+//
+// Training runs on the histogram-subtraction engine (hist.go): trees
+// grow depth-first over a shared row arena, sibling histograms are
+// derived by parent-minus-child subtraction, and work parallelizes over
+// class trees and feature chunks up to Config.Workers goroutines. The
+// result is deterministic: bit-identical for the same inputs at any
+// Workers value.
+func TrainClassifier(ds *Dataset, labels []int, numClasses int, cfg Config) (*Model, error) {
+	counts, err := validateClassifierArgs(ds, labels, numClasses, cfg)
+	if err != nil {
+		return nil, err
+	}
+	n := ds.N
+	k := numClasses
+	m := &Model{
+		Schema:     ds.Schema,
+		Config:     cfg,
+		NumClasses: k,
+		InitScores: initScoresFromCounts(counts, n, k),
+	}
+
+	bins := buildBinning(ds, cfg.MaxBins)
+	eng := newHistEngine(ds, bins, cfg, k)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Flat, reusable round state: logits and probabilities are n x k
+	// row-major; sampleEpoch marks the rows in the current round's
+	// subsample (stamped, so no per-round clearing).
+	logits := make([]float64, n*k)
+	for i := 0; i < n; i++ {
+		copy(logits[i*k:(i+1)*k], m.InitScores)
+	}
+	probMat := make([]float64, n*k)
+	lossPartials := make([]float64, (n+lossChunk-1)/lossChunk)
+	var outBuf []int32
+	growers := make([]*treeGrower, eng.classWorkers)
+	for w := range growers {
+		growers[w] = newTreeGrower(eng, n)
+	}
+
+	for round := 0; round < cfg.NumRounds; round++ {
+		rows := sampleRows(n, cfg.Subsample, rng)
+		outBuf = outOfSample(rows, n, outBuf)
+		loss := eng.softmaxLossInto(logits, probMat, labels, k, lossPartials)
+		m.TrainLoss = append(m.TrainLoss, loss/float64(n))
+
+		roundTrees := make([]*Tree, k)
+		rowsOut := outBuf
+		eng.forClasses(k, func(w, kc int) {
+			tg := growers[w]
+			g, h := tg.g, tg.h
+			for _, r := range rows {
+				p := probMat[int(r)*k+kc]
+				y := 0.0
+				if labels[r] == kc {
+					y = 1
+				}
+				g[r] = p - y
+				h[r] = math.Max(p*(1-p), 1e-6)
+			}
+			tree := tg.grow(rows, g, h)
+			roundTrees[kc] = tree
+			// Class kc owns logit column kc: in-sample rows were
+			// assigned their leaf during growth, out-of-sample rows
+			// take one binned traversal.
+			for _, r := range rows {
+				logits[int(r)*k+kc] += tg.leafOut[r]
+			}
+			for _, r := range rowsOut {
+				logits[int(r)*k+kc] += tg.predictBinned(tree, int(r))
+			}
+		})
+		m.Trees = append(m.Trees, roundTrees)
+	}
+	return m, nil
+}
+
+// outOfSample returns the ascending complement of the ascending sampled
+// row list over [0, n), reusing buf.
+func outOfSample(rows []int32, n int, buf []int32) []int32 {
+	buf = buf[:0]
+	j := 0
+	for i := int32(0); i < int32(n); i++ {
+		if j < len(rows) && rows[j] == i {
+			j++
+			continue
+		}
+		buf = append(buf, i)
+	}
+	return buf
+}
+
+// TrainRegressor fits a squared-loss regression model on the histogram
+// engine (feature-parallel up to Config.Workers; deterministic at any
+// worker count).
+func TrainRegressor(ds *Dataset, targets []float64, cfg Config) (*Model, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	if len(targets) != ds.N {
+		return nil, fmt.Errorf("gbdt: %d targets for %d rows", len(targets), ds.N)
+	}
 	n := ds.N
 	if n == 0 {
 		return nil, fmt.Errorf("gbdt: empty dataset")
 	}
+	var mean float64
+	for _, t := range targets {
+		mean += t
+	}
+	mean /= float64(n)
 
 	m := &Model{
 		Schema:     ds.Schema,
 		Config:     cfg,
-		NumClasses: numClasses,
-		InitScores: make([]float64, numClasses),
+		NumClasses: 1,
+		InitScores: []float64{mean},
 	}
-	for k := range m.InitScores {
-		p := (counts[k] + 1) / (float64(n) + float64(numClasses)) // Laplace prior
-		m.InitScores[k] = math.Log(p)
+	bins := buildBinning(ds, cfg.MaxBins)
+	eng := newHistEngine(ds, bins, cfg, 1)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	tg := newTreeGrower(eng, n)
+
+	preds := make([]float64, n)
+	for i := range preds {
+		preds[i] = mean
+	}
+	g, h := tg.g, tg.h
+	for i := range h {
+		h[i] = 1
+	}
+	var outBuf []int32
+	for round := 0; round < cfg.NumRounds; round++ {
+		var loss float64
+		for i := 0; i < n; i++ {
+			r := preds[i] - targets[i]
+			loss += r * r
+			g[i] = r
+		}
+		m.TrainLoss = append(m.TrainLoss, loss/float64(n))
+		rows := sampleRows(n, cfg.Subsample, rng)
+		outBuf = outOfSample(rows, n, outBuf)
+		tree := tg.grow(rows, g, h)
+		for _, r := range rows {
+			preds[r] += tg.leafOut[r]
+		}
+		for _, r := range outBuf {
+			preds[r] += tg.predictBinned(tree, int(r))
+		}
+		m.Trees = append(m.Trees, []*Tree{tree})
+	}
+	return m, nil
+}
+
+// TrainClassifierNaive is the original per-node-rebuild trainer, kept
+// as the reference implementation: it re-materializes every node's
+// histograms from rows, allocates per node, and replays each round with
+// per-row tree.Predict. It exists for benchmarking (the engine's
+// speedup baseline) and for parity tests; production callers should use
+// TrainClassifier.
+func TrainClassifierNaive(ds *Dataset, labels []int, numClasses int, cfg Config) (*Model, error) {
+	counts, err := validateClassifierArgs(ds, labels, numClasses, cfg)
+	if err != nil {
+		return nil, err
+	}
+	n := ds.N
+	m := &Model{
+		Schema:     ds.Schema,
+		Config:     cfg,
+		NumClasses: numClasses,
+		InitScores: initScoresFromCounts(counts, n, numClasses),
 	}
 
 	bins := buildBinning(ds, cfg.MaxBins)
@@ -166,64 +354,6 @@ func TrainClassifier(ds *Dataset, labels []int, numClasses int, cfg Config) (*Mo
 			}
 		}
 		m.Trees = append(m.Trees, roundTrees)
-	}
-	return m, nil
-}
-
-// TrainRegressor fits a squared-loss regression model.
-func TrainRegressor(ds *Dataset, targets []float64, cfg Config) (*Model, error) {
-	if err := cfg.validate(); err != nil {
-		return nil, err
-	}
-	if err := ds.Validate(); err != nil {
-		return nil, err
-	}
-	if len(targets) != ds.N {
-		return nil, fmt.Errorf("gbdt: %d targets for %d rows", len(targets), ds.N)
-	}
-	n := ds.N
-	if n == 0 {
-		return nil, fmt.Errorf("gbdt: empty dataset")
-	}
-	var mean float64
-	for _, t := range targets {
-		mean += t
-	}
-	mean /= float64(n)
-
-	m := &Model{
-		Schema:     ds.Schema,
-		Config:     cfg,
-		NumClasses: 1,
-		InitScores: []float64{mean},
-	}
-	bins := buildBinning(ds, cfg.MaxBins)
-	gr := &grower{bins: bins, schema: ds.Schema, cfg: cfg}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-
-	preds := make([]float64, n)
-	for i := range preds {
-		preds[i] = mean
-	}
-	g := make([]float64, n)
-	h := make([]float64, n)
-	for round := 0; round < cfg.NumRounds; round++ {
-		var loss float64
-		for i := 0; i < n; i++ {
-			r := preds[i] - targets[i]
-			loss += r * r
-			g[i] = r
-			h[i] = 1
-		}
-		m.TrainLoss = append(m.TrainLoss, loss/float64(n))
-		rows := sampleRows(n, cfg.Subsample, rng)
-		tree := gr.growTree(rows, g, h)
-		row := make([]float64, ds.Schema.NumFeatures())
-		for i := 0; i < n; i++ {
-			row = ds.Row(i, row)
-			preds[i] += tree.Predict(row)
-		}
-		m.Trees = append(m.Trees, []*Tree{tree})
 	}
 	return m, nil
 }
@@ -356,6 +486,10 @@ type ValidationConfig struct {
 // validation logloss has not improved for vcfg.Patience rounds; the
 // returned model is truncated to the best round. ValLoss on the result
 // records the per-round validation loss.
+//
+// The per-round validation replay runs on the compiled Forest (flat
+// nodes, bitset categorical probes) over reused flat buffers rather
+// than per-row tree.Predict on re-materialized rows.
 func TrainClassifierWithValidation(ds *Dataset, labels []int, numClasses int, cfg Config,
 	valDS *Dataset, valLabels []int, vcfg ValidationConfig) (*Model, error) {
 	if valDS == nil || valDS.N == 0 {
@@ -371,25 +505,32 @@ func TrainClassifierWithValidation(ds *Dataset, labels []int, numClasses int, cf
 	if err != nil {
 		return nil, err
 	}
-	// Replay rounds over the validation set, tracking logloss.
+	forest, err := m.Compile()
+	if err != nil {
+		return nil, fmt.Errorf("gbdt: compiling validation forest: %w", err)
+	}
+	// Materialize validation rows once into a flat slab; logits and the
+	// probability scratch are flat and reused across rounds.
 	n := valDS.N
-	logits := make([][]float64, n)
+	nf := valDS.Schema.NumFeatures()
+	slab := make([]float64, n*nf)
 	rows := make([][]float64, n)
 	for i := 0; i < n; i++ {
-		logits[i] = append([]float64(nil), m.InitScores...)
-		rows[i] = valDS.Row(i, nil)
+		rows[i] = valDS.Row(i, slab[i*nf:(i+1)*nf])
+	}
+	logits := make([]float64, n*numClasses)
+	for i := 0; i < n; i++ {
+		copy(logits[i*numClasses:(i+1)*numClasses], m.InitScores)
 	}
 	probs := make([]float64, numClasses)
 	bestRound, bestLoss := -1, math.Inf(1)
 	sinceBest := 0
 	valLoss := make([]float64, 0, len(m.Trees))
-	for r, round := range m.Trees {
+	for r := range m.Trees {
+		forest.addRoundLogits(r, rows, logits)
 		var loss float64
 		for i := 0; i < n; i++ {
-			for k, tree := range round {
-				logits[i][k] += tree.Predict(rows[i])
-			}
-			softmax(logits[i], probs)
+			softmax(logits[i*numClasses:(i+1)*numClasses], probs)
 			loss -= math.Log(math.Max(probs[valLabels[i]], 1e-15))
 		}
 		loss /= float64(n)

@@ -5,6 +5,24 @@
 // weights, squared-loss regression, histogram-based numeric splits,
 // gradient-ordered categorical splits, gain-based feature importances and
 // JSON serialization.
+//
+// Training runs on a histogram-subtraction engine (hist.go): trees grow
+// depth-first over one reusable row-index arena with in-place
+// partitioning, each split builds only one child's histograms and derives
+// the sibling's by parent-minus-child subtraction, and in-sample rows
+// take their leaf assignment directly from the partitions instead of
+// replaying per-row tree traversal. Work spreads across up to
+// Config.Workers goroutines along two axes — class trees within a
+// boosting round and feature chunks within a node.
+//
+// Determinism guarantee: training is bit-identical for the same dataset,
+// labels and Config (including Seed) at any Workers value. All parallel
+// reductions have fixed order (rows accumulate in arena order, split
+// candidates reduce in feature order with strict-greater tie-breaking,
+// round losses sum fixed-size chunks in chunk order), so serialized
+// models compare byte-equal across worker counts; Workers itself is
+// excluded from model JSON. Inference (Forest) is likewise bit-identical
+// to per-row Tree traversal.
 package gbdt
 
 import (

@@ -1,0 +1,255 @@
+package gbdt
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// engineFixture builds a mixed numeric/categorical multiclass problem
+// large enough to exercise subsampling, sibling subtraction and the
+// parallel feature-chunk path (segments above parallelNodeMinRows).
+func engineFixture(n, classes int, seed int64) (*Dataset, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	s := &Schema{
+		Names: []string{"x0", "x1", "x2", "cat0", "cat1"},
+		Kinds: []FeatureKind{Numeric, Numeric, Numeric, Categorical, Categorical},
+		Cards: []int{0, 0, 0, 11, 37},
+	}
+	ds := NewDataset(s, n)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		var sum float64
+		for f := 0; f < 3; f++ {
+			v := rng.NormFloat64()
+			ds.Set(i, f, v)
+			sum += v
+		}
+		c0 := rng.Intn(11)
+		c1 := rng.Intn(37)
+		ds.Set(i, 3, float64(c0))
+		ds.Set(i, 4, float64(c1))
+		labels[i] = ((int(sum*2) % classes) + classes + c0 + c1) % classes
+	}
+	return ds, labels
+}
+
+// TestTrainWorkersDeterminism is the engine's core guarantee: the same
+// data, labels and Config produce byte-identical serialized models at
+// any Workers value. Workers=1 runs everything inline; Workers=8 uses
+// the class-parallel axis; Workers=16 over 2 classes with Subsample=1
+// forces the feature-chunk axis (several chunks, segments above the
+// parallel gate).
+func TestTrainWorkersDeterminism(t *testing.T) {
+	ds, labels := engineFixture(3000, 5, 41)
+	base := DefaultConfig()
+	base.NumRounds = 8
+
+	serialize := func(m *Model) []byte {
+		b, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	train := func(workers int) []byte {
+		cfg := base
+		cfg.Workers = workers
+		m, err := TrainClassifier(ds, labels, 5, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return serialize(m)
+	}
+	ref := train(1)
+	for _, w := range []int{2, 8} {
+		if got := train(w); !bytes.Equal(ref, got) {
+			t.Fatalf("Workers=%d produced a different serialized model than Workers=1", w)
+		}
+	}
+
+	// Feature-chunk axis: more workers than classes.
+	dsBig, labelsBig := engineFixture(5000, 2, 42)
+	cfg := base
+	cfg.Subsample = 1 // keep node segments above the parallel gate
+	cfg.Workers = 1
+	m1, err := TrainClassifier(dsBig, labelsBig, 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 16
+	m16, err := TrainClassifier(dsBig, labelsBig, 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serialize(m1), serialize(m16)) {
+		t.Fatal("feature-parallel training (Workers=16, 2 classes) diverged from Workers=1")
+	}
+
+	// Regressor path.
+	targets := make([]float64, dsBig.N)
+	for i := range targets {
+		targets[i] = dsBig.Cols[0][i]*3 + dsBig.Cols[1][i]
+	}
+	cfg.Workers = 1
+	r1, err := TrainRegressor(dsBig, targets, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 16
+	r16, err := TrainRegressor(dsBig, targets, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serialize(r1), serialize(r16)) {
+		t.Fatal("feature-parallel regression (Workers=16) diverged from Workers=1")
+	}
+}
+
+// TestWorkersExcludedFromSerialization: Workers is an execution knob,
+// not part of the model, so it must not appear in the model JSON (a
+// serialized model trained at Workers=8 must equal one at Workers=1).
+func TestWorkersExcludedFromSerialization(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Workers = 8
+	b, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(b, []byte("workers")) || bytes.Contains(b, []byte("Workers")) {
+		t.Fatalf("Workers leaked into Config JSON: %s", b)
+	}
+}
+
+// TestEngineMatchesNaiveParity: the histogram-subtraction engine and
+// the legacy per-node-rebuild trainer differ in floating-point detail
+// (sibling histograms come from subtraction, child sums from scan
+// prefixes), so trees may diverge — but on a fixed fixture both must
+// learn the problem equally well.
+func TestEngineMatchesNaiveParity(t *testing.T) {
+	ds, labels := engineFixture(4000, 5, 43)
+	cfg := DefaultConfig()
+	cfg.NumRounds = 20
+
+	engine, err := TrainClassifier(ds, labels, 5, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := TrainClassifierNaive(ds, labels, 5, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	accuracy := func(m *Model) float64 {
+		correct := 0
+		row := make([]float64, ds.Schema.NumFeatures())
+		for i := 0; i < ds.N; i++ {
+			row = ds.Row(i, row)
+			if m.PredictClass(row) == labels[i] {
+				correct++
+			}
+		}
+		return float64(correct) / float64(ds.N)
+	}
+	accEngine, accNaive := accuracy(engine), accuracy(naive)
+	if math.Abs(accEngine-accNaive) > 0.02 {
+		t.Errorf("train accuracy diverged: engine %.4f vs naive %.4f", accEngine, accNaive)
+	}
+	lossEngine := engine.TrainLoss[len(engine.TrainLoss)-1]
+	lossNaive := naive.TrainLoss[len(naive.TrainLoss)-1]
+	if math.Abs(lossEngine-lossNaive) > 0.05*math.Max(lossEngine, lossNaive) {
+		t.Errorf("final train loss diverged: engine %.5f vs naive %.5f", lossEngine, lossNaive)
+	}
+	// Both trainers consume the sampling RNG identically, and the
+	// initial scores depend only on label counts.
+	for k, v := range engine.InitScores {
+		if v != naive.InitScores[k] {
+			t.Errorf("init score %d: engine %g vs naive %g", k, v, naive.InitScores[k])
+		}
+	}
+
+	// Both trainers share the minimum-split-gain Gamma rule, so parity
+	// must also hold under a nonzero Gamma (fewer, stronger splits).
+	cfg.Gamma = 0.3
+	engineG, err := TrainClassifier(ds, labels, 5, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naiveG, err := TrainClassifierNaive(ds, labels, 5, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ae, an := accuracy(engineG), accuracy(naiveG); math.Abs(ae-an) > 0.02 {
+		t.Errorf("Gamma=0.3 train accuracy diverged: engine %.4f vs naive %.4f", ae, an)
+	}
+}
+
+// TestEngineSubsampleOutOfSampleReplay: with Subsample < 1 the logit
+// update must cover out-of-sample rows too (binned traversal), so a
+// model trained at 0.7 must still learn the signal and keep finite
+// monotone-ish loss.
+func TestEngineSubsampleOutOfSampleReplay(t *testing.T) {
+	ds, labels := xorDataset(2000, 44)
+	cfg := DefaultConfig()
+	cfg.NumRounds = 30
+	cfg.Subsample = 0.7
+	m, err := TrainClassifier(ds, labels, 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	row := make([]float64, 2)
+	for i := 0; i < ds.N; i++ {
+		row = ds.Row(i, row)
+		if m.PredictClass(row) == labels[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(ds.N); acc < 0.95 {
+		t.Errorf("subsampled XOR accuracy = %.3f, want >= 0.95", acc)
+	}
+	if first, last := m.TrainLoss[0], m.TrainLoss[len(m.TrainLoss)-1]; last >= first*0.5 {
+		t.Errorf("loss only fell from %g to %g", first, last)
+	}
+}
+
+// TestNaiveMatchesEngineValidationTrainer: TrainClassifierWithValidation
+// replays rounds on the compiled Forest; its ValLoss must equal a
+// hand-rolled per-row Tree.Predict replay bit for bit (the Forest walk
+// is bit-identical to Tree.Predict).
+func TestForestValidationReplayMatchesTreePredict(t *testing.T) {
+	train, trainLabels := xorDataset(400, 45)
+	val, valLabels := xorDataset(300, 46)
+	cfg := DefaultConfig()
+	cfg.NumRounds = 12
+	m, err := TrainClassifierWithValidation(train, trainLabels, 2, cfg,
+		val, valLabels, ValidationConfig{Patience: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Recompute validation loss per kept round with Tree.Predict.
+	n := val.N
+	logits := make([][]float64, n)
+	rows := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		logits[i] = append([]float64(nil), m.InitScores...)
+		rows[i] = val.Row(i, nil)
+	}
+	probs := make([]float64, 2)
+	for r, round := range m.Trees {
+		var loss float64
+		for i := 0; i < n; i++ {
+			for k, tree := range round {
+				logits[i][k] += tree.Predict(rows[i])
+			}
+			softmax(logits[i], probs)
+			loss -= math.Log(math.Max(probs[valLabels[i]], 1e-15))
+		}
+		loss /= float64(n)
+		if loss != m.ValLoss[r] {
+			t.Fatalf("round %d: Forest replay loss %g != Tree.Predict replay %g", r, m.ValLoss[r], loss)
+		}
+	}
+}

@@ -387,6 +387,21 @@ func (f *Forest) PredictBatchInto(rows [][]float64, logits []float64) []float64 
 	return logits
 }
 
+// addRoundLogits adds boosting round r's per-class tree outputs for
+// rows into the flat row-major logits buffer (len(rows) x NumClasses).
+// It walks the compiled flat nodes (bitset categorical probes), which
+// is what TrainClassifierWithValidation uses to replay validation
+// rounds without per-row Tree.Predict on pointer-chasing node slices.
+func (f *Forest) addRoundLogits(r int, rows [][]float64, logits []float64) {
+	k := f.NumClasses
+	for c := 0; c < k; c++ {
+		root := f.roots[int(f.classStart[c])+r]
+		for i, row := range rows {
+			logits[i*k+c] += f.walk(root, row)
+		}
+	}
+}
+
 // PredictClassBatch returns the argmax class per row, reusing classes
 // and the flat logit scratch buffer when provided.
 func (f *Forest) PredictClassBatch(rows [][]float64, classes []int, scratch []float64) ([]int, []float64) {

@@ -1,0 +1,795 @@
+package gbdt
+
+import (
+	"math"
+	"runtime"
+	"slices"
+	"sync"
+)
+
+// This file implements the histogram-subtraction training engine behind
+// TrainClassifier and TrainRegressor. Design, relative to the legacy
+// per-node-rebuild grower (kept as the naive reference in tree.go):
+//
+//   - Trees grow depth-first over one reusable row-index arena with an
+//     explicit stack; partitioning is in-place and stable, so a node's
+//     rows are always one contiguous segment and no per-node []int32 or
+//     categorical map is ever allocated.
+//   - Per-node histograms live in flat per-feature regions of pooled
+//     buffers. A split builds the histogram of only one child from its
+//     rows; the sibling's histogram is derived as parent minus child,
+//     halving (or better) the histogram work per level.
+//   - Training rows already know their leaf after partitioning, so the
+//     per-round logit update records leaf values during growth instead
+//     of replaying tree.Predict; only out-of-sample rows (Subsample < 1)
+//     traverse the tree, and they do so over pre-binned features.
+//   - Work parallelizes along two axes behind Config.Workers: class
+//     trees within a boosting round, and feature histogram/scan chunks
+//     within a node.
+//
+// Determinism: the same dataset, labels and Config (including Seed)
+// produce a bit-identical Model at any Workers value. Every parallel
+// reduction has a fixed order — per-feature histograms accumulate rows
+// sequentially in arena order, split candidates reduce in feature-index
+// order with strict-greater comparisons (ties keep the lowest feature,
+// then the lowest bin / shortest category prefix), and the round-loss
+// reduction sums fixed-size row chunks in chunk order, independent of
+// how many goroutines computed them.
+
+// lossChunk is the fixed row-chunk granularity of the parallel
+// softmax/loss pass. It must not depend on the worker count: partial
+// sums are reduced in chunk order, so fixed chunk boundaries keep the
+// reduction bit-identical at any Workers value.
+const lossChunk = 4096
+
+// parallelNodeMinRows gates per-node feature parallelism: below this
+// segment size the goroutine fan-out costs more than the scan.
+const parallelNodeMinRows = 2048
+
+// histEngine holds the immutable per-training-run state shared by all
+// tree growers: the binned dataset and the resolved parallelism plan.
+type histEngine struct {
+	bins   *binning
+	schema *Schema
+	cfg    Config
+
+	nf        int
+	featOff   []int32 // flat-histogram offset of each feature's bin region
+	totalBins int
+	maxBins   int // widest single feature, sizes categorical scratch
+
+	// binnedRM16/binnedRM32 is the row-major binned matrix with featOff
+	// pre-added and the histogram record stride pre-multiplied:
+	// entry r*nf+f is 3*(featOff[f]+bin), indexing the flat histogram
+	// directly. Single-chunk histogram builds stream it row-wise,
+	// loading each row's gradient once for all features instead of once
+	// per feature. The 16-bit form halves the streamed bytes and covers
+	// schemas up to ~21k total bins; wider schemas fall back to 32-bit
+	// (exactly one of the two is non-nil).
+	binnedRM16 []uint16
+	binnedRM32 []uint32
+
+	workers      int      // total goroutine budget
+	classWorkers int      // concurrent class trees per round
+	featChunks   [][2]int // contiguous feature ranges scanned concurrently
+}
+
+func newHistEngine(ds *Dataset, bins *binning, cfg Config, numClasses int) *histEngine {
+	eng := &histEngine{
+		bins:   bins,
+		schema: ds.Schema,
+		cfg:    cfg,
+		nf:     ds.Schema.NumFeatures(),
+	}
+	eng.featOff = make([]int32, eng.nf)
+	for f := 0; f < eng.nf; f++ {
+		eng.featOff[f] = int32(eng.totalBins)
+		eng.totalBins += bins.numBins[f]
+		if bins.numBins[f] > eng.maxBins {
+			eng.maxBins = bins.numBins[f]
+		}
+	}
+	if 3*eng.totalBins <= math.MaxUint16 {
+		eng.binnedRM16 = buildRowMajor[uint16](bins, eng.featOff, ds.N, eng.nf)
+	} else {
+		eng.binnedRM32 = buildRowMajor[uint32](bins, eng.featOff, ds.N, eng.nf)
+	}
+	eng.workers = cfg.Workers
+	if eng.workers <= 0 {
+		eng.workers = runtime.GOMAXPROCS(0)
+	}
+	eng.classWorkers = eng.workers
+	if eng.classWorkers > numClasses {
+		eng.classWorkers = numClasses
+	}
+	featWorkers := eng.workers / eng.classWorkers
+	if featWorkers > eng.nf {
+		featWorkers = eng.nf
+	}
+	if featWorkers < 1 {
+		featWorkers = 1
+	}
+	// Contiguous feature chunks balanced by bin count (bin count tracks
+	// both the zeroing and the scan cost of a chunk). Chunk boundaries
+	// only group an order-preserving reduction, so they may depend on
+	// the worker count without breaking determinism.
+	per := (eng.totalBins + featWorkers - 1) / featWorkers
+	start, acc := 0, 0
+	for f := 0; f < eng.nf; f++ {
+		acc += bins.numBins[f]
+		if acc >= per || f == eng.nf-1 {
+			eng.featChunks = append(eng.featChunks, [2]int{start, f + 1})
+			start, acc = f+1, 0
+		}
+	}
+	if len(eng.featChunks) == 0 {
+		eng.featChunks = append(eng.featChunks, [2]int{0, eng.nf})
+	}
+	return eng
+}
+
+// buildRowMajor lays the binned columns out row-major with featOff and
+// the histogram record stride baked in.
+func buildRowMajor[T uint16 | uint32](bins *binning, featOff []int32, n, nf int) []T {
+	rm := make([]T, n*nf)
+	for f := 0; f < nf; f++ {
+		off := featOff[f]
+		col := bins.binned[f]
+		for r := 0; r < n; r++ {
+			rm[r*nf+f] = T(3 * (off + col[r]))
+		}
+	}
+	return rm
+}
+
+// accumRowMajor is the row-wise histogram build kernel: one pass over
+// the segment's rows, each row's gradient loaded once for all features.
+func accumRowMajor[T uint16 | uint32](d []float64, rm []T, seg []int32, nf int, g, h []float64) {
+	for _, r := range seg {
+		gr, hr := g[r], h[r]
+		row := rm[int(r)*nf : int(r)*nf+nf]
+		for _, b := range row {
+			d[b] += gr
+			d[b+1] += hr
+			d[b+2]++
+		}
+	}
+}
+
+// forClasses runs fn(worker, class) for every class, spreading classes
+// over the engine's class workers. Classes are independent given the
+// round's gradients, so the schedule cannot affect results.
+func (eng *histEngine) forClasses(numClasses int, fn func(w, k int)) {
+	if eng.classWorkers == 1 {
+		for k := 0; k < numClasses; k++ {
+			fn(0, k)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < eng.classWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for k := w; k < numClasses; k += eng.classWorkers {
+				fn(w, k)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// histBuf is one pooled flat histogram: per-feature bin regions laid
+// out back to back, each bin an interleaved (gradient, hessian, count)
+// triple at d[3b : 3b+3] so one accumulation touches one cache line.
+// Counts are stored as float64 (exact for any realistic row count),
+// which keeps the record homogeneous and the subtraction pass a single
+// loop.
+type histBuf struct {
+	d []float64
+}
+
+// nodeTask is one pending node on the growth stack.
+type nodeTask struct {
+	parent     int32 // node index of the parent in the tree under construction; -1 for the root
+	isLeft     bool
+	start, end int32 // row segment in the grower's arena
+	depth      int32
+	sumG, sumH float64
+	hb         *histBuf // histogram if already derived; nil = build on demand
+}
+
+// histCatStat is the per-category accumulator of the categorical scan
+// (n is a float64 count, matching the histogram record).
+type histCatStat struct {
+	id      int32
+	g, h, n float64
+}
+
+// treeGrower is the per-worker mutable state for growing one tree at a
+// time. A grower is reused across rounds and classes; nothing escapes
+// except the finished *Tree.
+type treeGrower struct {
+	eng *histEngine
+
+	arena   []int32 // row ids, partitioned in place; a node owns [start,end)
+	scratch []int32 // right-half staging for stable partition
+	g, h    []float64
+
+	// leafOut[row] is the current tree's leaf value for every training
+	// row, recorded when its leaf is created (valid only for rows in
+	// this tree's sample).
+	leafOut []float64
+
+	// splitBins[node] is the numeric split's global histogram offset
+	// (3*(featOff[feature]+bin); -1 for categorical splits and leaves),
+	// directly comparable to binnedRM entries; out-of-sample rows
+	// traverse the row-major binned matrix with exactly the routing the
+	// training partitions used.
+	splitBins []int32
+
+	catMask  []uint64        // category membership bitset during partition
+	chunkCat [][]histCatStat // per-chunk categorical scan scratch
+	cands    []splitResult   // per-chunk split candidates
+	free     []*histBuf
+	stack    []nodeTask
+}
+
+func newTreeGrower(eng *histEngine, numRows int) *treeGrower {
+	return &treeGrower{
+		eng:      eng,
+		arena:    make([]int32, 0, numRows),
+		scratch:  make([]int32, numRows),
+		g:        make([]float64, numRows),
+		h:        make([]float64, numRows),
+		leafOut:  make([]float64, numRows),
+		catMask:  make([]uint64, (eng.maxBins+63)/64),
+		chunkCat: make([][]histCatStat, len(eng.featChunks)),
+		cands:    make([]splitResult, len(eng.featChunks)),
+	}
+}
+
+func (tg *treeGrower) take() *histBuf {
+	if n := len(tg.free); n > 0 {
+		hb := tg.free[n-1]
+		tg.free = tg.free[:n-1]
+		return hb
+	}
+	return &histBuf{d: make([]float64, 3*tg.eng.totalBins)}
+}
+
+func (tg *treeGrower) release(hb *histBuf) {
+	if hb != nil {
+		tg.free = append(tg.free, hb)
+	}
+}
+
+// runChunks executes fn for every feature chunk, concurrently when the
+// engine has a per-node feature budget and the segment is big enough to
+// pay for the fan-out. Chunks touch disjoint histogram regions and
+// reduce in chunk order afterwards, so both paths are bit-identical.
+func (tg *treeGrower) runChunks(segLen int32, fn func(ci int)) {
+	chunks := tg.eng.featChunks
+	if len(chunks) == 1 || int(segLen) < parallelNodeMinRows {
+		for ci := range chunks {
+			fn(ci)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for ci := range chunks {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			fn(ci)
+		}(ci)
+	}
+	wg.Wait()
+}
+
+// fillChunk zeroes and rebuilds the chunk's per-feature histograms from
+// the segment's rows. The single-chunk case streams the row-major
+// binned matrix, loading each row's gradient once for all features; the
+// multi-chunk case accumulates column-wise per feature. Both add rows
+// to every bin in segment order, so they are bit-identical.
+func (tg *treeGrower) fillChunk(hb *histBuf, seg []int32, ci int) {
+	eng := tg.eng
+	lo, hi := eng.featChunks[ci][0], eng.featChunks[ci][1]
+	g, h := tg.g, tg.h
+	if len(eng.featChunks) == 1 {
+		d := hb.d
+		for i := range d {
+			d[i] = 0
+		}
+		if eng.binnedRM16 != nil {
+			accumRowMajor(d, eng.binnedRM16, seg, eng.nf, g, h)
+		} else {
+			accumRowMajor(d, eng.binnedRM32, seg, eng.nf, g, h)
+		}
+		return
+	}
+	for f := lo; f < hi; f++ {
+		off := 3 * eng.featOff[f]
+		end := off + 3*int32(eng.bins.numBins[f])
+		d := hb.d[off:end:end]
+		for i := range d {
+			d[i] = 0
+		}
+		binned := eng.bins.binned[f]
+		for _, r := range seg {
+			b := 3 * binned[r]
+			d[b] += g[r]
+			d[b+1] += h[r]
+			d[b+2]++
+		}
+	}
+}
+
+// subChunk derives the sibling histogram in place: parent -= child.
+func (tg *treeGrower) subChunk(parent, child *histBuf, ci int) {
+	eng := tg.eng
+	lo := 3 * eng.featOff[eng.featChunks[ci][0]]
+	hi := 3 * int32(eng.totalBins)
+	if end := eng.featChunks[ci][1]; end < eng.nf {
+		hi = 3 * eng.featOff[end]
+	}
+	pd, cd := parent.d[lo:hi], child.d[lo:hi]
+	for i := range pd {
+		pd[i] -= cd[i]
+	}
+}
+
+// scanChunk finds the chunk's best split of the node (first feature
+// wins ties within the chunk; the caller reduces chunks in order).
+func (tg *treeGrower) scanChunk(hb *histBuf, task *nodeTask, ci int) {
+	eng := tg.eng
+	cand := splitResult{}
+	nTotal := task.end - task.start
+	parentScore := task.sumG * task.sumG / (task.sumH + eng.cfg.Lambda)
+	lo, hi := eng.featChunks[ci][0], eng.featChunks[ci][1]
+	for f := lo; f < hi; f++ {
+		nb := eng.bins.numBins[f]
+		if nb < 2 {
+			continue
+		}
+		off := eng.featOff[f]
+		if eng.schema.Kinds[f] == Numeric {
+			tg.scanNumericFlat(f, off, nb, hb, task.sumG, task.sumH, nTotal, parentScore, &cand)
+		} else {
+			tg.scanCategoricalFlat(f, off, nb, hb, task.sumG, task.sumH, nTotal, parentScore, ci, &cand)
+		}
+	}
+	tg.cands[ci] = cand
+}
+
+// splitQualifies is the engine's split acceptance rule: Gamma is the
+// minimum gain required to split at all; candidates then compete by
+// strict-greater gain.
+func (tg *treeGrower) splitQualifies(gain float64) bool {
+	return gain > tg.eng.cfg.Gamma && gain > 1e-12
+}
+
+func (tg *treeGrower) scanNumericFlat(f int, off int32, nb int, hb *histBuf,
+	sumG, sumH float64, nTotal int32, parentScore float64, cand *splitResult) {
+	eng := tg.eng
+	minLeaf := float64(eng.cfg.MinSamplesLeaf)
+	total := float64(nTotal)
+	d := hb.d[3*off : 3*(off+int32(nb))]
+	var gl, hl, nl float64
+	bestGain, bestBin := 0.0, -1
+	var bestGL, bestHL float64
+	for b := 0; b < nb-1; b++ {
+		gl += d[3*b]
+		hl += d[3*b+1]
+		nl += d[3*b+2]
+		if nl < minLeaf {
+			continue
+		}
+		if total-nl < minLeaf {
+			break
+		}
+		gain := splitGain(gl, hl, sumG-gl, sumH-hl, parentScore, eng.cfg.Lambda)
+		if gain > bestGain && tg.splitQualifies(gain) {
+			bestGain, bestBin = gain, b
+			bestGL, bestHL = gl, hl
+		}
+	}
+	if bestBin >= 0 && bestGain > cand.gain {
+		*cand = splitResult{feature: f, kind: Numeric, bin: bestBin, gain: bestGain, found: true, gl: bestGL, hl: bestHL}
+	}
+}
+
+func (tg *treeGrower) scanCategoricalFlat(f int, off int32, nb int, hb *histBuf,
+	sumG, sumH float64, nTotal int32, parentScore float64, ci int, cand *splitResult) {
+	eng := tg.eng
+	cats := tg.chunkCat[ci][:0]
+	d := hb.d[3*off : 3*(off+int32(nb))]
+	for b := int32(0); b < int32(nb); b++ {
+		if d[3*b+2] == 0 {
+			continue
+		}
+		cats = append(cats, histCatStat{id: b, n: d[3*b+2], g: d[3*b], h: d[3*b+1]})
+	}
+	tg.chunkCat[ci] = cats
+	if len(cats) < 2 {
+		return
+	}
+	// Gradient-ordered prefix scan (the LightGBM many-valued trick);
+	// the id tiebreak makes the order total, hence deterministic.
+	sortCatStats(cats)
+	minLeaf := float64(eng.cfg.MinSamplesLeaf)
+	total := float64(nTotal)
+	var gl, hl, nl float64
+	bestGain, bestPrefix := 0.0, -1
+	var bestGL, bestHL float64
+	for p := 0; p < len(cats)-1; p++ {
+		gl += cats[p].g
+		hl += cats[p].h
+		nl += cats[p].n
+		if nl < minLeaf || total-nl < minLeaf {
+			continue
+		}
+		gain := splitGain(gl, hl, sumG-gl, sumH-hl, parentScore, eng.cfg.Lambda)
+		if gain > bestGain && tg.splitQualifies(gain) {
+			bestGain, bestPrefix = gain, p
+			bestGL, bestHL = gl, hl
+		}
+	}
+	if bestPrefix < 0 || bestGain <= cand.gain {
+		return
+	}
+	left := make([]int32, 0, bestPrefix+1)
+	for p := 0; p <= bestPrefix; p++ {
+		left = append(left, cats[p].id)
+	}
+	slices.Sort(left)
+	*cand = splitResult{feature: f, kind: Categorical, leftCats: left, gain: bestGain, found: true, gl: bestGL, hl: bestHL}
+}
+
+// sortCatStats orders category stats by gradient ratio, then id — a
+// total order, hence a unique deterministic result. slices.SortFunc is
+// allocation-free (unlike sort.Slice's closure adapter), which matters
+// at one sort per categorical feature per node.
+func sortCatStats(cats []histCatStat) {
+	slices.SortFunc(cats, func(a, b histCatStat) int {
+		ra := a.g / (a.h + 1)
+		rb := b.g / (b.h + 1)
+		switch {
+		case ra < rb:
+			return -1
+		case ra > rb:
+			return 1
+		default:
+			return int(a.id - b.id)
+		}
+	})
+}
+
+// findSplit ensures the node has a histogram and returns the best split
+// across all features (chunk candidates reduced in feature order).
+func (tg *treeGrower) findSplit(task *nodeTask) splitResult {
+	seg := tg.arena[task.start:task.end]
+	if task.hb == nil {
+		task.hb = tg.take()
+		tg.runChunks(task.end-task.start, func(ci int) {
+			tg.fillChunk(task.hb, seg, ci)
+			tg.scanChunk(task.hb, task, ci)
+		})
+	} else {
+		tg.runChunks(task.end-task.start, func(ci int) {
+			tg.scanChunk(task.hb, task, ci)
+		})
+	}
+	best := tg.cands[0]
+	for _, c := range tg.cands[1:] {
+		if c.found && c.gain > best.gain {
+			best = c
+		}
+	}
+	return best
+}
+
+// partition stably splits the task's arena segment by the chosen split
+// (left rows keep their relative order, then right rows) and returns
+// the split point. Child gradient sums come from the scan's prefix
+// accumulation (splitResult.gl/hl), so this is pure routing: no
+// gradient gathers.
+func (tg *treeGrower) partition(task *nodeTask, s splitResult) (mid int32) {
+	binned := tg.eng.bins.binned[s.feature]
+	arena := tg.arena
+	l, rc := task.start, int32(0)
+	if s.kind == Numeric {
+		bin := int32(s.bin)
+		for i := task.start; i < task.end; i++ {
+			r := arena[i]
+			if binned[r] <= bin {
+				arena[l] = r
+				l++
+			} else {
+				tg.scratch[rc] = r
+				rc++
+			}
+		}
+	} else {
+		for _, c := range s.leftCats {
+			tg.catMask[c>>6] |= 1 << uint(c&63)
+		}
+		for i := task.start; i < task.end; i++ {
+			r := arena[i]
+			b := binned[r]
+			if tg.catMask[b>>6]>>(uint(b)&63)&1 == 1 {
+				arena[l] = r
+				l++
+			} else {
+				tg.scratch[rc] = r
+				rc++
+			}
+		}
+		for _, c := range s.leftCats {
+			tg.catMask[c>>6] = 0
+		}
+	}
+	copy(arena[l:task.end], tg.scratch[:rc])
+	return l
+}
+
+// grow fits one regression tree to gradients g and hessians h over the
+// sampled rows. Leaf values (already learning-rate scaled) are recorded
+// into leafOut for every sampled row as leaves are created. The g and h
+// slices must be indexed by dataset row id; only sampled entries are
+// read.
+func (tg *treeGrower) grow(sample []int32, g, h []float64) *Tree {
+	eng := tg.eng
+	tg.g, tg.h = g, h
+	tg.arena = append(tg.arena[:0], sample...)
+	if cap(tg.scratch) < len(sample) {
+		tg.scratch = make([]int32, len(sample))
+	}
+	t := &Tree{Nodes: make([]Node, 0, 64)}
+	tg.splitBins = tg.splitBins[:0]
+	minLeaf := int32(eng.cfg.MinSamplesLeaf)
+	maxDepth := int32(eng.cfg.MaxDepth)
+
+	var rootG, rootH float64
+	for _, r := range sample {
+		rootG += g[r]
+		rootH += h[r]
+	}
+	tg.stack = append(tg.stack[:0], nodeTask{
+		parent: -1, start: 0, end: int32(len(sample)), sumG: rootG, sumH: rootH,
+	})
+
+	for len(tg.stack) > 0 {
+		task := tg.stack[len(tg.stack)-1]
+		tg.stack = tg.stack[:len(tg.stack)-1]
+		idx := int32(len(t.Nodes))
+		t.Nodes = append(t.Nodes, Node{IsLeaf: true})
+		tg.splitBins = append(tg.splitBins, -1)
+		if task.parent >= 0 {
+			if task.isLeft {
+				t.Nodes[task.parent].Left = int(idx)
+			} else {
+				t.Nodes[task.parent].Right = int(idx)
+			}
+		}
+		segLen := task.end - task.start
+
+		makeLeaf := func() {
+			value := -task.sumG / (task.sumH + eng.cfg.Lambda) * eng.cfg.LearningRate
+			t.Nodes[idx].Value = value
+			for _, r := range tg.arena[task.start:task.end] {
+				tg.leafOut[r] = value
+			}
+			tg.release(task.hb)
+		}
+
+		if task.depth >= maxDepth || segLen < 2*minLeaf {
+			makeLeaf()
+			continue
+		}
+		best := tg.findSplit(&task)
+		if !best.found {
+			makeLeaf()
+			continue
+		}
+		mid := tg.partition(&task, best)
+		lsG, lsH := best.gl, best.hl
+		rsG, rsH := task.sumG-lsG, task.sumH-lsH
+		leftLen, rightLen := mid-task.start, task.end-mid
+		if leftLen < minLeaf || rightLen < minLeaf {
+			// The scans enforce per-side counts, so this is unreachable;
+			// kept as a guard against histogram/partition divergence.
+			makeLeaf()
+			continue
+		}
+
+		t.Nodes[idx] = Node{
+			Feature: best.feature,
+			Kind:    best.kind,
+			Gain:    best.gain,
+		}
+		if best.kind == Numeric {
+			t.Nodes[idx].Threshold = thresholdForBin(eng.bins, best.feature, best.bin)
+			tg.splitBins[idx] = 3 * (eng.featOff[best.feature] + int32(best.bin))
+		} else {
+			t.Nodes[idx].LeftCats = best.leftCats
+		}
+
+		childDepth := task.depth + 1
+		leftLeaf := childDepth >= maxDepth || leftLen < 2*minLeaf
+		rightLeaf := childDepth >= maxDepth || rightLen < 2*minLeaf
+		var lhb, rhb *histBuf
+		if !leftLeaf || !rightLeaf {
+			lhb, rhb = tg.childHists(&task, mid, leftLeaf, rightLeaf)
+		} else {
+			tg.release(task.hb)
+		}
+
+		// Push right first so the left child is processed next: node
+		// layout stays pre-order (parent, left subtree, right subtree),
+		// which Forest.Compile requires.
+		tg.stack = append(tg.stack,
+			nodeTask{parent: idx, isLeft: false, start: mid, end: task.end, depth: childDepth, sumG: rsG, sumH: rsH, hb: rhb},
+			nodeTask{parent: idx, isLeft: true, start: task.start, end: mid, depth: childDepth, sumG: lsG, sumH: lsH, hb: lhb},
+		)
+	}
+	return t
+}
+
+// childHists produces the child histograms a split needs, building the
+// cheaper side from rows and deriving the other by subtracting it from
+// the parent histogram (which is consumed). The choice depends only on
+// segment sizes, never on the worker count.
+func (tg *treeGrower) childHists(task *nodeTask, mid int32, leftLeaf, rightLeaf bool) (lhb, rhb *histBuf) {
+	leftSeg := tg.arena[task.start:mid]
+	rightSeg := tg.arena[mid:task.end]
+	segLen := task.end - task.start
+	build := func(seg []int32) *histBuf {
+		hb := tg.take()
+		tg.runChunks(int32(len(seg)), func(ci int) { tg.fillChunk(hb, seg, ci) })
+		return hb
+	}
+	derive := func(child *histBuf) *histBuf {
+		tg.runChunks(segLen, func(ci int) { tg.subChunk(task.hb, child, ci) })
+		hb := task.hb
+		task.hb = nil
+		return hb
+	}
+	switch {
+	case !leftLeaf && !rightLeaf:
+		// Build the smaller child, derive the larger (ties build left).
+		if len(leftSeg) <= len(rightSeg) {
+			lhb = build(leftSeg)
+			rhb = derive(lhb)
+		} else {
+			rhb = build(rightSeg)
+			lhb = derive(rhb)
+		}
+	case !leftLeaf:
+		if len(rightSeg) < len(leftSeg) {
+			rb := build(rightSeg)
+			lhb = derive(rb)
+			tg.release(rb)
+		} else {
+			lhb = build(leftSeg)
+			tg.release(task.hb)
+			task.hb = nil
+		}
+	default: // !rightLeaf
+		if len(leftSeg) < len(rightSeg) {
+			lb := build(leftSeg)
+			rhb = derive(lb)
+			tg.release(lb)
+		} else {
+			rhb = build(rightSeg)
+			tg.release(task.hb)
+			task.hb = nil
+		}
+	}
+	return lhb, rhb
+}
+
+// thresholdForBin converts a bin-index split back to a raw threshold.
+func thresholdForBin(bins *binning, feature, bin int) float64 {
+	uppers := bins.uppers[feature]
+	if bin < len(uppers) {
+		return uppers[bin]
+	}
+	return math.Inf(1)
+}
+
+// predictBinned walks the freshly grown tree for dataset row r over the
+// row-major binned matrix (the row's bins share a cache line), which
+// reproduces exactly the routing the training partitions used (missing
+// numerics fall in bin 0 and go left; missing categoricals were binned
+// as category 0).
+func (tg *treeGrower) predictBinned(t *Tree, r int) float64 {
+	eng := tg.eng
+	if eng.binnedRM16 != nil {
+		return walkBinned(t, eng.binnedRM16[r*eng.nf:(r+1)*eng.nf], tg.splitBins, eng.featOff)
+	}
+	return walkBinned(t, eng.binnedRM32[r*eng.nf:(r+1)*eng.nf], tg.splitBins, eng.featOff)
+}
+
+func walkBinned[T uint16 | uint32](t *Tree, row []T, splitBins []int32, featOff []int32) float64 {
+	idx := 0
+	for {
+		nd := &t.Nodes[idx]
+		if nd.IsLeaf {
+			return nd.Value
+		}
+		gb := int32(row[nd.Feature])
+		if nd.Kind == Numeric {
+			if gb <= splitBins[idx] {
+				idx = nd.Left
+			} else {
+				idx = nd.Right
+			}
+		} else {
+			if containsCatBin(nd.LeftCats, gb/3-featOff[nd.Feature]) {
+				idx = nd.Left
+			} else {
+				idx = nd.Right
+			}
+		}
+	}
+}
+
+// containsCatBin reports whether sorted cats contains id.
+func containsCatBin(cats []int32, id int32) bool {
+	lo, hi := 0, len(cats)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cats[mid] < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(cats) && cats[lo] == id
+}
+
+// softmaxLossInto computes row probabilities into the flat probMat and
+// returns the summed logloss. Rows are processed in fixed-size chunks
+// spread over the engine's workers; partials reduce in chunk order, so
+// the sum is bit-identical at any worker count.
+func (eng *histEngine) softmaxLossInto(logits, probMat []float64, labels []int, k int, partials []float64) float64 {
+	n := len(labels)
+	numChunks := (n + lossChunk - 1) / lossChunk
+	work := func(c int) {
+		lo, hi := c*lossChunk, (c+1)*lossChunk
+		if hi > n {
+			hi = n
+		}
+		var loss float64
+		for i := lo; i < hi; i++ {
+			row := logits[i*k : (i+1)*k]
+			out := probMat[i*k : (i+1)*k]
+			softmax(row, out)
+			loss -= math.Log(math.Max(out[labels[i]], 1e-15))
+		}
+		partials[c] = loss
+	}
+	if eng.workers == 1 || numChunks == 1 {
+		for c := 0; c < numChunks; c++ {
+			work(c)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < eng.workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for c := w; c < numChunks; c += eng.workers {
+					work(c)
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+	var loss float64
+	for _, p := range partials[:numChunks] {
+		loss += p
+	}
+	return loss
+}

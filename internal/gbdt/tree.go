@@ -58,17 +58,7 @@ func containsCat(cats []int32, v float64) bool {
 	if math.IsNaN(v) {
 		return false
 	}
-	id := int32(v)
-	lo, hi := 0, len(cats)
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if cats[mid] < id {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	return lo < len(cats) && cats[lo] == id
+	return containsCatBin(cats, int32(v))
 }
 
 // NumLeaves returns the number of leaf nodes.
@@ -99,9 +89,18 @@ type splitResult struct {
 	leftCats []int32 // categorical: category bins routed left
 	gain     float64
 	found    bool
+	// gl, hl are the left side's gradient/hessian sums at the chosen
+	// split, taken from the scan's prefix accumulation; the engine
+	// derives both children's sums from them instead of re-gathering
+	// gradients during partition. Unused by the legacy grower.
+	gl, hl float64
 }
 
-// grower holds the per-training-run state needed to grow trees.
+// grower holds the per-training-run state of the legacy trainer: it
+// rebuilds every node's histograms from that node's rows and allocates
+// per-node row slices. Retained as the reference implementation behind
+// TrainClassifierNaive (benchmark baseline and parity oracle); the
+// production trainers run the histogram-subtraction engine in hist.go.
 type grower struct {
 	bins   *binning
 	schema *Schema
@@ -165,11 +164,7 @@ func (gr *grower) growNode(t *Tree, rows []int32, g, h []float64, depth int) int
 
 // thresholdFor converts a bin-index split back to a raw-value threshold.
 func (gr *grower) thresholdFor(s splitResult) float64 {
-	uppers := gr.bins.uppers[s.feature]
-	if s.bin < len(uppers) {
-		return uppers[s.bin]
-	}
-	return math.Inf(1)
+	return thresholdForBin(gr.bins, s.feature, s.bin)
 }
 
 // partition splits rows according to the chosen split.
@@ -246,6 +241,12 @@ func splitGain(gl, hl, gr_, hr, parentScore, lambda float64) float64 {
 
 func (gr *grower) scanNumeric(f, nb int, histG, histH []float64, histN []int,
 	sumG, sumH, parentScore float64, best *splitResult) {
+	// Suffix counts give each candidate's right-side row count in O(1);
+	// recomputing them per bin made this scan O(bins^2).
+	suffixN := make([]int, nb+1)
+	for b := nb - 1; b >= 0; b-- {
+		suffixN[b] = suffixN[b+1] + histN[b]
+	}
 	var gl, hl float64
 	var nl int
 	for b := 0; b < nb-1; b++ {
@@ -255,15 +256,11 @@ func (gr *grower) scanNumeric(f, nb int, histG, histH []float64, histN []int,
 		if nl < gr.cfg.MinSamplesLeaf {
 			continue
 		}
-		nr := 0
-		for bb := b + 1; bb < nb; bb++ {
-			nr += histN[bb]
-		}
-		if nr < gr.cfg.MinSamplesLeaf {
+		if suffixN[b+1] < gr.cfg.MinSamplesLeaf {
 			break
 		}
 		gain := splitGain(gl, hl, sumG-gl, sumH-hl, parentScore, gr.cfg.Lambda)
-		if gain > best.gain+gr.cfg.Gamma && gain > 1e-12 {
+		if gain > gr.cfg.Gamma && gain > 1e-12 && gain > best.gain {
 			*best = splitResult{feature: f, kind: Numeric, bin: b, gain: gain, found: true}
 		}
 	}
@@ -311,7 +308,7 @@ func (gr *grower) scanCategorical(f, nb int, histG, histH []float64, histN []int
 			continue
 		}
 		gain := splitGain(gl, hl, sumG-gl, sumH-hl, parentScore, gr.cfg.Lambda)
-		if gain > best.gain+gr.cfg.Gamma && gain > 1e-12 {
+		if gain > gr.cfg.Gamma && gain > 1e-12 && gain > best.gain {
 			*best = splitResult{feature: f, kind: Categorical, gain: gain, found: true}
 			bestPrefix = p
 		}
