@@ -21,12 +21,20 @@
 //	policy, err := byom.NewAdaptiveRankingPolicy(model, cm)
 //	result, err := byom.Simulate(testTrace, policy, cm, byom.SimConfig{SSDQuota: quota})
 //	fmt.Println(result.TCOSavingsPercent())
+//
+// Beyond the offline pipeline, the package exposes the deployment
+// stack: NewServerFromRegistry serves placements concurrently with
+// batched inference and registry-driven hot swap, and NewOnlineLearner
+// closes the loop by retraining on served outcomes and publishing
+// gate-approved candidates back to the registry (see
+// docs/ARCHITECTURE.md for the full data flow).
 package byom
 
 import (
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/metrics"
+	"repro/internal/online"
 	"repro/internal/oracle"
 	"repro/internal/policy"
 	"repro/internal/registry"
@@ -95,6 +103,26 @@ type (
 	ModelVersion = registry.Version
 	// Outcome reports how a placement played out (spillover feedback).
 	Outcome = sim.Outcome
+
+	// OnlineLearner closes the serving→training→deployment loop:
+	// it windows the feedback stream, retrains on a cadence or drift
+	// trigger, gates candidates on holdout TCO savings and publishes
+	// survivors to the registry (hot-swapping subscribed servers).
+	OnlineLearner = online.Learner
+	// OnlineConfig tunes the continuous-learning loop.
+	OnlineConfig = online.Config
+	// OnlineWindowConfig bounds the learner's sliding feedback window.
+	OnlineWindowConfig = online.WindowConfig
+	// OnlineDriftConfig tunes the category-distribution drift trigger.
+	OnlineDriftConfig = online.DriftConfig
+	// OnlineEvent reports one retrain attempt (gate verdict, shadow
+	// scores, published version).
+	OnlineEvent = online.Event
+	// OnlineTrainer overrides the retrain function — the BYOM premise
+	// applied to the retrain path.
+	OnlineTrainer = online.Trainer
+	// OnlineStats is a snapshot of the learner's loop counters.
+	OnlineStats = metrics.OnlineSnapshot
 )
 
 // FullResidency is the PartialOutcome of a job that kept its SSD
@@ -187,6 +215,40 @@ func NewServer(model *CategoryModel, cm *CostModel, cfg ServeConfig) (*Server, e
 // Rollback swaps the compiled model atomically without pausing traffic.
 func NewServerFromRegistry(reg *ModelRegistry, workload string, cm *CostModel, cfg ServeConfig) (*Server, error) {
 	return serve.New(reg, workload, cm, cfg)
+}
+
+// DefaultOnlineConfig returns continuous-learning parameters for an
+// N-category model: a 3.5-day / 8192-record window, daily retrain
+// cadence, drift trigger at 0.15 total-variation shift and a 0.5-point
+// TCO-savings regression gate.
+func DefaultOnlineConfig(numCategories int) OnlineConfig {
+	return online.DefaultConfig(numCategories)
+}
+
+// NewOnlineLearner creates the continuous-learning pipeline for a
+// workload: stream placement outcomes in with Observe and the learner
+// retrains on fresh data, shadow-gates each candidate against the live
+// model and publishes survivors to reg — atomically hot-swapping any
+// server created with NewServerFromRegistry on the same workload.
+func NewOnlineLearner(reg *ModelRegistry, workload string, cm *CostModel, cfg OnlineConfig) (*OnlineLearner, error) {
+	return online.New(reg, workload, cm, cfg)
+}
+
+// RunOnlineLoop replays a trace through the full closed loop — server
+// decisions, simulated SSD occupancy, outcome feedback to both the
+// server's controllers and the learner's window — so retrains, gate
+// verdicts and hot swaps all happen mid-replay. Pass a nil learner to
+// replay the frozen-model baseline. Configure the server with
+// BatchSize 1 for sequential virtual-time replay.
+func RunOnlineLoop(tr *Trace, srv *Server, learner *OnlineLearner, cm *CostModel, cfg SimConfig) (*SimResult, error) {
+	return online.RunLoop(tr, srv, learner, cm, cfg)
+}
+
+// TailSavingsPercent returns a replay's TCO savings restricted to jobs
+// arriving at or after fromSec (requires SimConfig.KeepRecords) — the
+// post-drift comparison the online loop is judged on.
+func TailSavingsPercent(res *SimResult, cm *CostModel, fromSec float64) (float64, error) {
+	return online.TailSavingsPercent(res, cm, fromSec)
 }
 
 // Simulate replays a trace through a placement policy under an SSD

@@ -181,3 +181,74 @@ func TestPublicAPIServer(t *testing.T) {
 		t.Fatalf("decision served by v%d, want v2", d.ModelVersion)
 	}
 }
+
+// TestPublicAPIOnlineLoop walks the documented online-learning flow:
+// publish, serve, stream feedback through the learner, and observe the
+// retrained model hot-swap into the server mid-replay.
+func TestPublicAPIOnlineLoop(t *testing.T) {
+	gcfg := byom.DefaultGeneratorConfig("online-demo", 5)
+	gcfg.DurationSec = 3 * 24 * 3600
+	gcfg.NumUsers = 6
+	full := byom.GenerateCluster(gcfg)
+	train, replay := full.SplitAt(1 * 24 * 3600)
+
+	cm := byom.DefaultCostModel()
+	opts := byom.DefaultTrainOptions()
+	opts.NumCategories = 5
+	opts.GBDT.NumRounds = 4
+	model, err := byom.TrainCategoryModel(train.Jobs, cm, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := byom.NewModelRegistry()
+	if _, err := reg.Publish("pipeline", model, 0); err != nil {
+		t.Fatal(err)
+	}
+	scfg := byom.DefaultServeConfig(5)
+	scfg.BatchSize = 1 // sequential virtual-time replay
+	srv, err := byom.NewServerFromRegistry(reg, "pipeline", cm, scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	lcfg := byom.DefaultOnlineConfig(5)
+	lcfg.Train = opts
+	lcfg.RetrainEverySec = 12 * 3600
+	lcfg.MinRetrainJobs = 200
+	lcfg.Window = byom.OnlineWindowConfig{MaxCount: 2000, HorizonSec: 24 * 3600}
+	var accepted int
+	lcfg.OnEvent = func(ev byom.OnlineEvent) {
+		if ev.Accepted {
+			accepted++
+		}
+	}
+	learner, err := byom.NewOnlineLearner(reg, "pipeline", cm, lcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer learner.Close()
+
+	quota := replay.PeakSSDUsage() * 0.05
+	res, err := byom.RunOnlineLoop(replay, srv, learner, cm, byom.SimConfig{SSDQuota: quota, KeepRecords: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TCOSaved <= 0 {
+		t.Error("online loop saved nothing")
+	}
+	stats := learner.Stats()
+	if stats.Observations != int64(len(replay.Jobs)) {
+		t.Errorf("learner observed %d of %d outcomes", stats.Observations, len(replay.Jobs))
+	}
+	if stats.Retrains == 0 {
+		t.Fatal("learner never retrained on a 2-day replay with a 12h cadence")
+	}
+	if accepted > 0 && srv.Swaps() == 0 {
+		t.Error("accepted candidates but server never swapped")
+	}
+	if _, err := byom.TailSavingsPercent(res, cm, replay.Jobs[0].ArrivalSec); err != nil {
+		t.Errorf("tail savings: %v", err)
+	}
+}

@@ -7,11 +7,18 @@
 // -swap-mid it republishes the model mid-replay to demonstrate hot
 // swapping under load.
 //
+// With -online it instead replays a drifting multi-week trace through
+// the full continuous-learning loop — serving, feedback windowing,
+// gated retraining and hot swaps — and compares the loop's post-drift
+// TCO savings against a frozen-model baseline, printing every gate
+// decision along the way.
+//
 // Usage:
 //
 //	serve -days 2 -users 6 -rounds 12               # synthetic quick run
 //	serve -trace c0.jsonl -model model.json         # serve a real bundle
 //	serve -submitters 8 -shards 8 -batch 64 -naive  # throughput comparison
+//	serve -online -days 4 -retrain-hours 24         # closed learning loop
 package main
 
 import (
@@ -25,6 +32,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/cost"
+	"repro/internal/experiments"
+	"repro/internal/online"
 	"repro/internal/policy"
 	"repro/internal/registry"
 	"repro/internal/serve"
@@ -57,12 +66,33 @@ func run(args []string, stdout io.Writer) error {
 		maxJobs    = fs.Int("jobs", 0, "cap on replayed jobs (0 = all)")
 		naive      = fs.Bool("naive", false, "also replay through a mutex-guarded per-row Predict loop")
 		swapMid    = fs.Bool("swap-mid", false, "republish the model mid-replay (hot-swap demo)")
+
+		onlineMode   = fs.Bool("online", false, "replay a drifting trace through the continuous-learning loop")
+		retrainHours = fs.Float64("retrain-hours", 24, "online: retrain cadence in virtual hours")
+		driftTV      = fs.Float64("drift-tv", 0.2, "online: total-variation drift threshold (0 disables)")
+		gateEps      = fs.Float64("gate-eps", 0.5, "online: tolerated TCO-savings regression (points)")
+		windowMax    = fs.Int("window", 8192, "online: feedback window record cap")
+		quotaFrac    = fs.Float64("quota-frac", 0.05, "online: SSD quota as a fraction of peak demand")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
 		}
 		return err
+	}
+
+	if *onlineMode {
+		// -online replays its own synthetic drift scenario; fail loudly
+		// rather than silently ignoring a user-supplied trace or model.
+		if *tracePath != "" || *modelPath != "" {
+			return fmt.Errorf("-online builds its own drifting trace and model; it cannot be combined with -trace or -model")
+		}
+		return runOnline(onlineParams{
+			days: *days, users: *users, seed: *seed,
+			rounds: *rounds, categories: *categories, shards: *shards,
+			retrainHours: *retrainHours, driftTV: *driftTV, gateEps: *gateEps,
+			windowMax: *windowMax, quotaFrac: *quotaFrac,
+		}, stdout)
 	}
 
 	cm := cost.Default()
@@ -141,6 +171,133 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "naive throughput: %.0f jobs/sec (%.2fs wall)\n", naiveRate, naiveElapsed.Seconds())
 		fmt.Fprintf(stdout, "speedup:          %.2fx\n", serveRate/naiveRate)
 	}
+	return nil
+}
+
+// onlineParams collects the -online mode settings.
+type onlineParams struct {
+	days               float64
+	users              int
+	seed               int64
+	rounds, categories int
+	shards             int
+	retrainHours       float64
+	driftTV, gateEps   float64
+	windowMax          int
+	quotaFrac          float64
+}
+
+// runOnline replays the drifting multi-week scenario through the full
+// closed loop and compares it against a frozen-model baseline.
+func runOnline(p onlineParams, stdout io.Writer) error {
+	opts := experiments.Options{
+		Seed:          p.seed,
+		Days:          p.days,
+		Users:         p.users,
+		GBDTRounds:    p.rounds,
+		NumCategories: p.categories,
+	}
+	sc, err := experiments.BuildDriftScenario(opts)
+	if err != nil {
+		return err
+	}
+	cm := sc.Pre.Cost
+	fmt.Fprintf(stdout, "drift scenario: %d replay jobs, mix changes at t=%.1fd\n",
+		len(sc.Replay.Jobs), sc.SpliceSec/86400)
+	fmt.Fprintf(stdout, "training %d-category model on %d pre-drift jobs (%d rounds)\n",
+		p.categories, len(sc.Pre.Train.Jobs), p.rounds)
+	model, err := experiments.TrainModelOn(sc.Pre.Train.Jobs, cm, opts)
+	if err != nil {
+		return err
+	}
+	quota := sc.Eval.PeakSSDUsage() * p.quotaFrac
+
+	// Sequential virtual-time replay: BatchSize 1 (see online.RunLoop).
+	scfg := serve.DefaultConfig(p.categories)
+	scfg.Shards = p.shards
+	scfg.BatchSize = 1
+
+	replayOnce := func(learner *online.Learner, reg *registry.Registry) (*sim.Result, *serve.Server, error) {
+		srv, err := serve.New(reg, "online", cm, scfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer srv.Close()
+		res, err := online.RunLoop(sc.Replay, srv, learner, cm, sim.Config{SSDQuota: quota, KeepRecords: true})
+		return res, srv, err
+	}
+
+	newReg := func() (*registry.Registry, error) {
+		reg := registry.New()
+		_, err := reg.Publish("online", model, 0)
+		return reg, err
+	}
+
+	// Frozen baseline: same server, no learner.
+	reg, err := newReg()
+	if err != nil {
+		return err
+	}
+	frozenRes, _, err := replayOnce(nil, reg)
+	if err != nil {
+		return err
+	}
+
+	// The closed loop, printing each gate decision as it happens.
+	reg, err = newReg()
+	if err != nil {
+		return err
+	}
+	lcfg := online.DefaultConfig(p.categories)
+	lcfg.Train.NumCategories = p.categories
+	lcfg.Train.GBDT.NumRounds = p.rounds
+	lcfg.Train.GBDT.Seed = p.seed
+	lcfg.Window.MaxCount = p.windowMax
+	lcfg.RetrainEverySec = p.retrainHours * 3600
+	lcfg.Drift.TVThreshold = p.driftTV
+	lcfg.GateEpsilonPct = p.gateEps
+	lcfg.OnEvent = func(ev online.Event) {
+		verdict := "ACCEPT"
+		if ev.Err != nil {
+			verdict = "ERROR " + ev.Err.Error()
+		} else if !ev.Accepted {
+			verdict = "REJECT"
+		}
+		fmt.Fprintf(stdout, "t=%5.2fd retrain (%s, %d jobs): candidate %.3f%% vs live %.3f%% -> %s",
+			ev.Sec/86400, ev.Trigger, ev.TrainJobs, ev.CandidatePct, ev.LivePct, verdict)
+		if ev.Accepted {
+			fmt.Fprintf(stdout, " (published v%d)", ev.Version)
+		}
+		fmt.Fprintf(stdout, " [%.0f ms]\n", float64(ev.Latency.Milliseconds()))
+	}
+	learner, err := online.New(reg, "online", cm, lcfg)
+	if err != nil {
+		return err
+	}
+	defer learner.Close()
+	onlineRes, srv, err := replayOnce(learner, reg)
+	if err != nil {
+		return err
+	}
+
+	frozenTail, err := online.TailSavingsPercent(frozenRes, cm, sc.SpliceSec)
+	if err != nil {
+		return err
+	}
+	onlineTail, err := online.TailSavingsPercent(onlineRes, cm, sc.SpliceSec)
+	if err != nil {
+		return err
+	}
+	stats := learner.Stats()
+	fmt.Fprintf(stdout, "retrains:          %d (%d accepted, %d rejected, %d errors)\n",
+		stats.Retrains, stats.GateAccepts, stats.GateRejects, stats.TrainErrors)
+	fmt.Fprintf(stdout, "triggers:          %d cadence, %d drift\n", stats.CadenceTriggers, stats.DriftTriggers)
+	fmt.Fprintf(stdout, "retrain latency:   mean %s, max %s\n", stats.MeanRetrainLatency, stats.MaxRetrainLatency)
+	fmt.Fprintf(stdout, "window:            %d records held, %d evicted\n", learner.WindowLen(), stats.Evictions)
+	fmt.Fprintf(stdout, "model swaps:       %d (serving v%d)\n", srv.Swaps(), srv.ModelVersion())
+	fmt.Fprintf(stdout, "full-replay TCO:   online %.3f%% vs frozen %.3f%%\n",
+		onlineRes.TCOSavingsPercent(), frozenRes.TCOSavingsPercent())
+	fmt.Fprintf(stdout, "post-drift TCO:    online %.3f%% vs frozen %.3f%%\n", onlineTail, frozenTail)
 	return nil
 }
 

@@ -22,6 +22,23 @@ func TestRunQuickServe(t *testing.T) {
 	}
 }
 
+func TestRunOnlineLoop(t *testing.T) {
+	var buf strings.Builder
+	err := run([]string{
+		"-online", "-days", "2", "-users", "5", "-rounds", "3", "-categories", "5",
+		"-shards", "2", "-retrain-hours", "12", "-window", "2000",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"drift scenario:", "retrain (", "retrains:", "model swaps:", "post-drift TCO:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestRunRejectsBadFlags(t *testing.T) {
 	var buf strings.Builder
 	if err := run([]string{"-shards", "0"}, &buf); err == nil {

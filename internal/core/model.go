@@ -43,7 +43,10 @@ func DefaultTrainOptions() TrainOptions {
 // CategoryModel bundles everything an application needs to produce
 // placement hints: the feature encoder (vocabularies), the trained
 // ranking model and the label design. This is the artifact a workload
-// "brings" under the BYOM design.
+// "brings" under the BYOM design — and the unit of rollout: versions
+// of it flow through internal/registry to the serving layer, and the
+// internal/online learner retrains it on fresh outcomes at the
+// workload's own release velocity (§2.3).
 type CategoryModel struct {
 	Encoder *features.Encoder
 	Model   *gbdt.Model

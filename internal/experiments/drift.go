@@ -34,21 +34,40 @@ type DriftResult struct {
 	PreJobs, PostJobs int
 }
 
-// Drift builds the spliced scenario and evaluates the three methods.
-func Drift(opts Options) (*DriftResult, error) {
-	// Pre-drift segment: cluster 0's mix. Post-drift: cluster 5's mix
-	// (different archetype weights, different users/pipelines), spliced
-	// to begin where the first segment ends.
+// DriftScenario is the spliced workload-evolution environment, shared
+// by the offline Drift experiment, the online-learning end-to-end test
+// (internal/online) and cmd/serve -online: a cluster whose application
+// mix changes abruptly at SpliceSec.
+type DriftScenario struct {
+	// Pre is the pre-drift cluster environment; models that must go
+	// stale train on Pre.Train.
+	Pre *Env
+	// Warmup is the first half of the post-drift segment (what an
+	// offline retrain gets to see); Eval is the remainder.
+	Warmup, Eval *trace.Trace
+	// Replay is the full serving stream: the pre-drift test half
+	// followed contiguously by the whole post-drift segment. Replaying
+	// it through the online loop exercises stable traffic first, then
+	// the drift.
+	Replay *trace.Trace
+	// SpliceSec is the virtual time at which the mix changes.
+	SpliceSec float64
+}
+
+// BuildDriftScenario splices cluster 0's mix (pre-drift) with cluster
+// 5's mix (post-drift: different archetype weights, users and
+// pipelines), the §2.3 "workloads evolve faster than storage systems"
+// scenario.
+func BuildDriftScenario(opts Options) (*DriftScenario, error) {
 	pre := BuildEnv(0, opts)
 	postOpts := opts
 	postOpts.Seed = opts.Seed + 500
 	post := BuildEnv(5, postOpts)
 
 	offset := opts.Days * 24 * 3600
-	spliced := &trace.Trace{Cluster: "drift"}
-	spliced.Jobs = append(spliced.Jobs, post.Train.Jobs...)
-	spliced.Jobs = append(spliced.Jobs, post.Test.Jobs...)
-	postFull := &trace.Trace{Cluster: "drift", Jobs: spliced.Jobs}
+	postFull := &trace.Trace{Cluster: "drift"}
+	postFull.Jobs = append(postFull.Jobs, post.Train.Jobs...)
+	postFull.Jobs = append(postFull.Jobs, post.Test.Jobs...)
 	postFull.Shift(offset)
 	postFull.Sort()
 
@@ -61,11 +80,33 @@ func Drift(opts Options) (*DriftResult, error) {
 			len(warmup.Jobs), len(eval.Jobs))
 	}
 
+	replay := &trace.Trace{Cluster: "drift-replay"}
+	replay.Jobs = append(replay.Jobs, pre.Test.Jobs...)
+	replay.Jobs = append(replay.Jobs, postFull.Jobs...)
+	replay.Sort()
+
+	return &DriftScenario{
+		Pre:       pre,
+		Warmup:    warmup,
+		Eval:      eval,
+		Replay:    replay,
+		SpliceSec: offset,
+	}, nil
+}
+
+// Drift builds the spliced scenario and evaluates the three methods.
+func Drift(opts Options) (*DriftResult, error) {
+	sc, err := BuildDriftScenario(opts)
+	if err != nil {
+		return nil, err
+	}
+	pre, eval := sc.Pre, sc.Eval
+
 	staleModel, err := TrainModelOn(pre.Train.Jobs, pre.Cost, opts)
 	if err != nil {
 		return nil, err
 	}
-	retrainedModel, err := TrainModelOn(warmup.Jobs, pre.Cost, opts)
+	retrainedModel, err := TrainModelOn(sc.Warmup.Jobs, pre.Cost, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,100 @@
+package metrics
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// OnlineCounters holds the continuous-learning loop's counters: window
+// churn, retrain triggers, gate verdicts and retrain latency. All fields
+// are updated atomically, so one instance can be shared between the
+// learner's observation path, a background retrain goroutine and
+// concurrent snapshot readers.
+type OnlineCounters struct {
+	observations    atomic.Int64
+	evictions       atomic.Int64
+	driftTriggers   atomic.Int64
+	cadenceTriggers atomic.Int64
+	retrains        atomic.Int64
+	gateAccepts     atomic.Int64
+	gateRejects     atomic.Int64
+	trainErrors     atomic.Int64
+	retrainNs       atomic.Int64
+	maxRetrainNs    atomic.Int64
+}
+
+// RecordObservation counts one feedback record entering the window and
+// however many records its arrival evicted (count cap or time horizon).
+func (c *OnlineCounters) RecordObservation(evicted int) {
+	c.observations.Add(1)
+	if evicted > 0 {
+		c.evictions.Add(int64(evicted))
+	}
+}
+
+// RecordTrigger counts one retrain trigger firing; drift reports whether
+// the category-distribution detector (vs the cadence timer) fired it.
+func (c *OnlineCounters) RecordTrigger(drift bool) {
+	if drift {
+		c.driftTriggers.Add(1)
+	} else {
+		c.cadenceTriggers.Add(1)
+	}
+}
+
+// RecordRetrain counts one completed retrain attempt, its gate verdict
+// and its wall-clock latency.
+func (c *OnlineCounters) RecordRetrain(accepted bool, latency time.Duration) {
+	c.retrains.Add(1)
+	if accepted {
+		c.gateAccepts.Add(1)
+	} else {
+		c.gateRejects.Add(1)
+	}
+	ns := latency.Nanoseconds()
+	c.retrainNs.Add(ns)
+	for {
+		cur := c.maxRetrainNs.Load()
+		if ns <= cur || c.maxRetrainNs.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// RecordTrainError counts one retrain attempt that failed before
+// reaching the gate (training or evaluation error).
+func (c *OnlineCounters) RecordTrainError() { c.trainErrors.Add(1) }
+
+// OnlineSnapshot is a point-in-time copy of the learner's counters.
+type OnlineSnapshot struct {
+	Observations       int64
+	Evictions          int64
+	DriftTriggers      int64
+	CadenceTriggers    int64
+	Retrains           int64
+	GateAccepts        int64
+	GateRejects        int64
+	TrainErrors        int64
+	MeanRetrainLatency time.Duration
+	MaxRetrainLatency  time.Duration
+}
+
+// Snapshot copies the counters. Concurrent updates may tear between
+// fields; each individual field is consistent.
+func (c *OnlineCounters) Snapshot() OnlineSnapshot {
+	s := OnlineSnapshot{
+		Observations:      c.observations.Load(),
+		Evictions:         c.evictions.Load(),
+		DriftTriggers:     c.driftTriggers.Load(),
+		CadenceTriggers:   c.cadenceTriggers.Load(),
+		Retrains:          c.retrains.Load(),
+		GateAccepts:       c.gateAccepts.Load(),
+		GateRejects:       c.gateRejects.Load(),
+		TrainErrors:       c.trainErrors.Load(),
+		MaxRetrainLatency: time.Duration(c.maxRetrainNs.Load()),
+	}
+	if s.Retrains > 0 {
+		s.MeanRetrainLatency = time.Duration(c.retrainNs.Load() / s.Retrains)
+	}
+	return s
+}

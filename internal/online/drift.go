@@ -1,0 +1,70 @@
+package online
+
+// DriftConfig tunes the category-distribution drift trigger.
+//
+// The detector watches the distribution of *served* categories over the
+// feedback window — the live model's own view of the traffic. When the
+// workload mix changes (the scenario internal/experiments/drift.go
+// constructs: users and pipelines swap out across a splice), the
+// predicted-category histogram shifts with it, and the total-variation
+// distance from the reference histogram taken at the last retrain
+// crosses the threshold long before the cadence timer would fire.
+type DriftConfig struct {
+	// TVThreshold is the total-variation distance (0..1) between the
+	// reference and current category distributions above which a
+	// retrain is triggered. 0 disables drift triggering.
+	TVThreshold float64
+	// MinSamples is the minimum window population before the detector
+	// compares distributions (small windows are noisy).
+	MinSamples int
+}
+
+// driftDetector compares the window's rolling category distribution
+// against a reference snapshot taken at the last retrain attempt.
+type driftDetector struct {
+	cfg DriftConfig
+	ref []float64 // distribution at the last retrain (nil until armed)
+}
+
+// arm copies dist as the new reference (called at every retrain
+// trigger, so a single shift fires one retrain, not a storm). Copying
+// lets callers pass a reused buffer.
+func (d *driftDetector) arm(dist []float64) { d.ref = append(d.ref[:0], dist...) }
+
+// shifted reports whether the current distribution has moved more than
+// TVThreshold away from the reference. With no reference yet it arms on
+// the first adequately sized window and reports false.
+func (d *driftDetector) shifted(dist []float64, windowCount int) bool {
+	if d.cfg.TVThreshold <= 0 || dist == nil || windowCount < d.cfg.MinSamples {
+		return false
+	}
+	if d.ref == nil {
+		d.arm(dist)
+		return false
+	}
+	return totalVariation(d.ref, dist) > d.cfg.TVThreshold
+}
+
+// totalVariation is the total-variation distance between two discrete
+// distributions over the same support: half the L1 distance.
+func totalVariation(p, q []float64) float64 {
+	n := len(p)
+	if len(q) < n {
+		n = len(q)
+	}
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		d := p[i] - q[i]
+		if d < 0 {
+			d = -d
+		}
+		sum += d
+	}
+	for i := n; i < len(p); i++ {
+		sum += p[i]
+	}
+	for i := n; i < len(q); i++ {
+		sum += q[i]
+	}
+	return sum / 2
+}

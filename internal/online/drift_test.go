@@ -1,0 +1,59 @@
+package online
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTotalVariation(t *testing.T) {
+	cases := []struct {
+		p, q []float64
+		want float64
+	}{
+		{[]float64{1, 0}, []float64{1, 0}, 0},
+		{[]float64{1, 0}, []float64{0, 1}, 1},
+		{[]float64{0.5, 0.5}, []float64{0.25, 0.75}, 0.25},
+		// Mismatched supports: missing mass counts fully.
+		{[]float64{1}, []float64{0, 1}, 1},
+	}
+	for _, c := range cases {
+		if got := totalVariation(c.p, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("totalVariation(%v, %v) = %g, want %g", c.p, c.q, got, c.want)
+		}
+	}
+}
+
+func TestDriftDetectorArmsThenFires(t *testing.T) {
+	d := driftDetector{cfg: DriftConfig{TVThreshold: 0.3, MinSamples: 10}}
+
+	// Below the sample floor: never fires, never arms.
+	if d.shifted([]float64{1, 0}, 5) {
+		t.Error("fired below MinSamples")
+	}
+	if d.ref != nil {
+		t.Error("armed below MinSamples")
+	}
+	// First adequate window arms the reference without firing.
+	if d.shifted([]float64{1, 0}, 20) {
+		t.Error("fired while arming")
+	}
+	// Small shift stays quiet; large shift fires.
+	if d.shifted([]float64{0.9, 0.1}, 20) {
+		t.Error("fired at TV=0.1 with threshold 0.3")
+	}
+	if !d.shifted([]float64{0.2, 0.8}, 20) {
+		t.Error("did not fire at TV=0.8")
+	}
+	// Re-arming at the new distribution silences it again.
+	d.arm([]float64{0.2, 0.8})
+	if d.shifted([]float64{0.2, 0.8}, 20) {
+		t.Error("fired right after re-arm")
+	}
+}
+
+func TestDriftDetectorDisabled(t *testing.T) {
+	d := driftDetector{cfg: DriftConfig{TVThreshold: 0}}
+	if d.shifted([]float64{1, 0}, 1000) {
+		t.Error("disabled detector fired")
+	}
+}

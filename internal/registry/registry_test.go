@@ -244,6 +244,165 @@ func TestSubscribeNotifiesOnActivation(t *testing.T) {
 	}
 }
 
+// TestPublishWhileSubscribedOrdering pins the delivery contract the
+// serving layer's hot-swap path depends on: under concurrent publishes,
+// every activation is notified exactly once, callbacks may arrive out
+// of order (which is why subscribers re-Resolve), and after the burst
+// the registry resolves to the highest version.
+func TestPublishWhileSubscribedOrdering(t *testing.T) {
+	r := New()
+	m := tinyModel(t, 11)
+
+	var mu sync.Mutex
+	seen := map[int]int{}
+	r.Subscribe("w", func(v Version) {
+		mu.Lock()
+		seen[v.Number]++
+		mu.Unlock()
+	})
+
+	const publishers, perPublisher = 4, 10
+	var wg sync.WaitGroup
+	for p := 0; p < publishers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perPublisher; i++ {
+				if _, err := r.Publish("w", m, 0); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	total := publishers * perPublisher
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != total {
+		t.Fatalf("notified %d distinct versions, want %d", len(seen), total)
+	}
+	for n := 1; n <= total; n++ {
+		if seen[n] != 1 {
+			t.Errorf("version %d notified %d times, want exactly once", n, seen[n])
+		}
+	}
+	_, v, err := r.Resolve("w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Number != total {
+		t.Errorf("resolved v%d after burst, want v%d", v.Number, total)
+	}
+}
+
+// TestRollbackAfterFailedGate exercises the release path the online
+// learner's gate shares with manual operations: a candidate that made
+// it out (v2) turns out to regress, the workload rolls back to v1, and
+// the next (fixed) release gets a fresh version number and activates.
+func TestRollbackAfterFailedGate(t *testing.T) {
+	r := New()
+	good := tinyModel(t, 12)
+	bad := tinyModel(t, 13)
+
+	var mu sync.Mutex
+	var activations []int
+	r.Subscribe("w", func(v Version) {
+		mu.Lock()
+		activations = append(activations, v.Number)
+		mu.Unlock()
+	})
+
+	if _, err := r.Publish("w", good, 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Publish("w", bad, 20); err != nil {
+		t.Fatal(err)
+	}
+	// Post-release gate verdict: regression — roll back.
+	if err := r.Rollback("w", 1); err != nil {
+		t.Fatal(err)
+	}
+	model, v, err := r.Resolve("w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Number != 1 || model != good {
+		t.Fatalf("after rollback resolving v%d", v.Number)
+	}
+	// The failed version stays in history (audit trail), and the next
+	// release does not reuse its number.
+	if vs := r.Versions("w"); len(vs) != 2 {
+		t.Fatalf("history lost versions: %v", vs)
+	}
+	v3, err := r.Publish("w", good, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v3.Number != 3 {
+		t.Errorf("post-rollback publish got v%d, want v3", v3.Number)
+	}
+	if _, v, _ := r.Resolve("w"); v.Number != 3 {
+		t.Errorf("resolving v%d after fixed release, want v3", v.Number)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	want := []int{1, 2, 1, 3}
+	if len(activations) != len(want) {
+		t.Fatalf("activations = %v, want %v", activations, want)
+	}
+	for i := range want {
+		if activations[i] != want[i] {
+			t.Fatalf("activations = %v, want %v", activations, want)
+		}
+	}
+}
+
+// TestDoublePublishIdenticalModel: republishing the same model (the
+// online loop does this when a retrain converges to the live model's
+// behaviour) still allocates a fresh version, notifies subscribers and
+// resolves to the same underlying model.
+func TestDoublePublishIdenticalModel(t *testing.T) {
+	r := New()
+	m := tinyModel(t, 14)
+
+	notifications := 0
+	r.Subscribe("w", func(Version) { notifications++ })
+
+	v1, err := r.Publish("w", m, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := r.Publish("w", m, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1.Number == v2.Number {
+		t.Fatalf("identical model reused version %d", v1.Number)
+	}
+	if v2.TrainedAtSec != 200 {
+		t.Errorf("second publish kept stale TrainedAtSec %g", v2.TrainedAtSec)
+	}
+	got, v, err := r.Resolve("w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != m || v.Number != 2 {
+		t.Errorf("resolve after double publish: v%d", v.Number)
+	}
+	if notifications != 2 {
+		t.Errorf("got %d notifications, want 2", notifications)
+	}
+	// Rolling back across identical content still works by number.
+	if err := r.Rollback("w", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, v, _ := r.Resolve("w"); v.Number != 1 {
+		t.Errorf("rollback landed on v%d", v.Number)
+	}
+}
+
 func TestSubscribeCallbackMayUseRegistry(t *testing.T) {
 	r := New()
 	m := tinyModel(t, 10)

@@ -23,6 +23,11 @@
 // each job's ArrivalSec, mirroring the simulator's semantics, so a
 // replayed week of traffic exercises the same controller trajectory
 // regardless of wall-clock speed.
+//
+// The server is the front half of the continuous-learning loop: the
+// same Observe stream that drives Algorithm 1 also feeds the
+// internal/online learner's window, whose gated retrains arrive back
+// here as registry publishes (see docs/ARCHITECTURE.md).
 package serve
 
 import (
