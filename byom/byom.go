@@ -33,6 +33,7 @@ package byom
 import (
 	"repro/internal/core"
 	"repro/internal/cost"
+	"repro/internal/fleet"
 	"repro/internal/metrics"
 	"repro/internal/online"
 	"repro/internal/oracle"
@@ -123,6 +124,22 @@ type (
 	OnlineTrainer = online.Trainer
 	// OnlineStats is a snapshot of the learner's loop counters.
 	OnlineStats = metrics.OnlineSnapshot
+
+	// FleetConfig controls a multi-cluster fleet run: heterogeneous
+	// cluster specs, the shard worker pool, training options and the
+	// optional per-cluster online loop.
+	FleetConfig = fleet.Config
+	// FleetTraceConfig seeds the heterogeneous cluster specs.
+	FleetTraceConfig = trace.FleetConfig
+	// FleetClusterSpec is one cluster's generation + quota parameters.
+	FleetClusterSpec = trace.ClusterSpec
+	// FleetReport is the merged fleet view: per-cluster rows plus
+	// fleet-aggregate TCO savings per model regime.
+	FleetReport = fleet.Report
+	// FleetClusterResult is one cluster's row in the report.
+	FleetClusterResult = fleet.ClusterResult
+	// FleetStats is a snapshot of the fleet run counters.
+	FleetStats = metrics.FleetSnapshot
 )
 
 // FullResidency is the PartialOutcome of a job that kept its SSD
@@ -250,6 +267,33 @@ func RunOnlineLoop(tr *Trace, srv *Server, learner *OnlineLearner, cm *CostModel
 func TailSavingsPercent(res *SimResult, cm *CostModel, fromSec float64) (float64, error) {
 	return online.TailSavingsPercent(res, cm, fromSec)
 }
+
+// DefaultFleetConfig returns a laptop-scale fleet of n clusters from
+// one seed: four simulated days per cluster, heterogeneous mixes,
+// loads and quotas.
+func DefaultFleetConfig(n int, seed int64) FleetConfig {
+	return fleet.DefaultConfig(n, seed)
+}
+
+// RunFleet simulates a multi-cluster fleet end to end: per-cluster
+// traces, per-cluster models trained in parallel, and each cluster's
+// test half evaluated under per-cluster vs one-global vs transfer
+// models — optionally with a closed online-learning loop per cluster.
+// The report is bit-identical at any FleetConfig.Workers value.
+func RunFleet(cfg FleetConfig) (*FleetReport, error) {
+	return fleet.Run(cfg)
+}
+
+// RunFleetWithRegistry is RunFleet publishing each cluster's online
+// models into reg under FleetWorkloadKey(cluster) — pass your own
+// registry to inspect or persist the fleet's model versions.
+func RunFleetWithRegistry(cfg FleetConfig, reg *ModelRegistry) (*FleetReport, error) {
+	return fleet.RunWithRegistry(cfg, reg)
+}
+
+// FleetWorkloadKey is the registry namespace ("cluster/<id>") a
+// cluster's online loop publishes under during a fleet run.
+func FleetWorkloadKey(cluster string) string { return fleet.WorkloadKey(cluster) }
 
 // Simulate replays a trace through a placement policy under an SSD
 // quota and returns savings metrics.

@@ -1,0 +1,31 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunFleetSmoke(t *testing.T) {
+	var buf strings.Builder
+	err := run([]string{"-clusters", "2", "-days", "1", "-users", "4",
+		"-rounds", "4", "-categories", "5", "-online"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, needle := range []string{"per-cluster TCO%", "fleet aggregate", "fleet totals", "online"} {
+		if !strings.Contains(out, needle) {
+			t.Fatalf("output missing %q:\n%s", needle, out)
+		}
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-clusters", "zero"}, &buf); err == nil {
+		t.Fatal("bad flag value accepted")
+	}
+	if err := run([]string{"-donor", "9", "-clusters", "2", "-days", "1", "-users", "4"}, &buf); err == nil {
+		t.Fatal("out-of-range donor accepted")
+	}
+}

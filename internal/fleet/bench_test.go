@@ -1,0 +1,37 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkFleetRun measures whole-fleet throughput (simulated jobs
+// per second, the jobs/s metric) across worker-pool sizes. Determinism
+// makes the worker axis free: any count produces the same Report, so
+// this benchmark is purely a scaling curve. Baseline numbers live in
+// BENCH_fleet.json at the repo root.
+func BenchmarkFleetRun(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := DefaultConfig(6, 42)
+			cfg.Fleet.DurationSec = 2 * 24 * 3600
+			cfg.Fleet.Users = 6
+			cfg.Train.NumCategories = 8
+			cfg.Train.GBDT.NumRounds = 8
+			// Bound per-model training parallelism so the cluster-level
+			// worker axis is what's being measured.
+			cfg.Train.GBDT.Workers = 1
+			cfg.Workers = workers
+			var jobs int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep, err := Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				jobs += rep.Counters.JobsSimulated
+			}
+			b.ReportMetric(float64(jobs)/b.Elapsed().Seconds(), "jobs/s")
+		})
+	}
+}

@@ -1,0 +1,397 @@
+// Package fleet is the multi-cluster simulation layer: it scales the
+// single-cluster pipeline (generate → train → simulate → serve → learn)
+// to a heterogeneous fleet, which is where the paper's deployment story
+// actually lives — a lightweight model is trained *per cluster* because
+// "the distribution of applications is uneven among clusters", and the
+// evaluation reports savings across ten clusters with very different
+// mixes.
+//
+// A fleet run:
+//
+//  1. Builds N heterogeneous cluster specs (trace.FleetSpecs): uneven
+//     archetype mixes, arrival/noise scales, populations and quotas,
+//     all from one base seed.
+//  2. Runs each cluster's shard on a bounded worker pool: generate the
+//     cluster trace, split train/test, train the cluster's own model
+//     on the histogram engine.
+//  3. Trains one *global* model on every cluster's training half and
+//     designates a *donor* cluster for transfer evaluation.
+//  4. Evaluates each cluster's test half under three model regimes —
+//     per-cluster, global, transfer (donor's model served elsewhere) —
+//     and optionally drives the full closed online-learning loop per
+//     cluster against a shared registry (workload "cluster/<id>").
+//  5. Merges shard results in cluster-index order into a Report with
+//     per-cluster and fleet-aggregate TCO/TCIO savings.
+//
+// Determinism contract (the PR 2 contract lifted to fleet scope): a
+// fleet Report is bit-identical for the same Config at any Workers
+// value. Every shard's pipeline is deterministic in its spec (trace
+// generation is seeded, training is bit-identical at any worker count,
+// simulation replays virtual time, the online loop runs synchronously
+// with BatchSize-1 serving), the worker pool writes each shard's
+// result to its own index, and all merging iterates in index order.
+package fleet
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/metrics"
+	"repro/internal/online"
+	"repro/internal/policy"
+	"repro/internal/registry"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Config controls a fleet run.
+type Config struct {
+	// Fleet seeds the heterogeneous cluster specs; ignored when Specs
+	// is set explicitly.
+	Fleet trace.FleetConfig
+	// Specs overrides the generated specs (nil = trace.FleetSpecs).
+	Specs []trace.ClusterSpec
+	// Workers bounds the cluster-shard worker pool (0 = GOMAXPROCS).
+	// The Report is bit-identical at any value.
+	Workers int
+	// Train configures every model trained during the run (per-cluster,
+	// global, and the online loop's retrains).
+	Train core.TrainOptions
+	// DonorCluster is the index whose model the transfer regime serves
+	// on every cluster (the paper's train-on-A-serve-on-B question).
+	DonorCluster int
+	// Online, when non-nil, drives one closed online-learning loop per
+	// cluster over its test half: the cluster's model is published to a
+	// shared registry under "cluster/<id>", a BatchSize-1 server replays
+	// the test stream and the learner retrains, gates and hot-swaps
+	// mid-replay. Async is forced off: synchronous retrains keep the
+	// replay deterministic.
+	Online *online.Config
+}
+
+// DefaultConfig returns a laptop-scale fleet: n clusters over four
+// simulated days each, with training options sized like the quick
+// experiment presets.
+func DefaultConfig(n int, seed int64) Config {
+	topts := core.DefaultTrainOptions()
+	topts.GBDT.NumRounds = 12
+	topts.GBDT.Seed = seed
+	return Config{
+		Fleet: trace.FleetConfig{
+			NumClusters: n,
+			BaseSeed:    seed,
+			DurationSec: 4 * 24 * 3600,
+			Users:       8,
+		},
+		Train: topts,
+	}
+}
+
+// WorkloadKey is the shared-registry namespace for a cluster's online
+// loop: per-cluster models live side by side in one registry without
+// colliding, which is exactly the §2.3 blast-radius property — a bad
+// release affects only its own cluster's key.
+func WorkloadKey(cluster string) string { return "cluster/" + cluster }
+
+// Method holds one model regime's savings on one cluster.
+type Method struct {
+	// TCOSaved / TCIOSaved are absolute savings vs the all-HDD
+	// baseline; the Pct fields are relative to the cluster's totals.
+	TCOSaved  float64
+	TCIOSaved float64
+	TCOPct    float64
+	TCIOPct   float64
+}
+
+// OnlineResult summarizes one cluster's closed-loop replay.
+type OnlineResult struct {
+	// TCOPct is the replay's TCO savings with the loop active.
+	TCOPct float64
+	// Retrains / GateAccepts / Swaps count loop activity; FinalVersion
+	// is the registry version serving when the replay ended.
+	Retrains     int64
+	GateAccepts  int64
+	Swaps        int64
+	FinalVersion int
+}
+
+// ClusterResult is one cluster's shard output.
+type ClusterResult struct {
+	Cluster    string
+	Jobs       int // full trace size
+	TestJobs   int
+	QuotaFrac  float64
+	QuotaBytes float64
+	// TotalTCOHDD / TotalTCIO are the all-HDD baselines of the test
+	// half — the denominators the aggregate view reuses.
+	TotalTCOHDD float64
+	TotalTCIO   float64
+	PerCluster  Method
+	Global      Method
+	Transfer    Method
+	Online      *OnlineResult
+}
+
+// Report is the merged fleet view.
+type Report struct {
+	Clusters []ClusterResult
+	// Aggregate savings are fleet-wide sums over cluster test halves
+	// (sum of saved over sum of baseline), not means of percentages —
+	// big clusters weigh more, as they do in a real TCO bill.
+	PerClusterAggTCOPct float64
+	GlobalAggTCOPct     float64
+	TransferAggTCOPct   float64
+	OnlineAggTCOPct     float64 // 0 when the loop was off
+	TotalTestJobs       int
+	Counters            metrics.FleetSnapshot
+}
+
+// clusterEnv is one shard's intermediate state between the build and
+// evaluate phases.
+type clusterEnv struct {
+	spec  trace.ClusterSpec
+	train *trace.Trace
+	test  *trace.Trace
+	quota float64
+	model *core.CategoryModel
+}
+
+// Run executes a fleet run with a private registry for the online
+// loops. See RunWithRegistry to share or inspect the registry.
+func Run(cfg Config) (*Report, error) {
+	return RunWithRegistry(cfg, registry.New())
+}
+
+// RunWithRegistry executes a fleet run, publishing each cluster's
+// online-loop models (when Config.Online is set) into reg under
+// WorkloadKey(cluster).
+func RunWithRegistry(cfg Config, reg *registry.Registry) (*Report, error) {
+	specs, err := fleetSpecs(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("fleet: no cluster specs")
+	}
+	for i := range specs {
+		if err := specs[i].Validate(); err != nil {
+			return nil, fmt.Errorf("fleet: spec %d: %w", i, err)
+		}
+	}
+	if cfg.DonorCluster < 0 || cfg.DonorCluster >= len(specs) {
+		return nil, fmt.Errorf("fleet: donor cluster %d out of range [0, %d)", cfg.DonorCluster, len(specs))
+	}
+	if reg == nil {
+		return nil, fmt.Errorf("fleet: nil registry")
+	}
+	cm := cost.Default()
+	var counters metrics.FleetCounters
+
+	// Phase 1: per-cluster build shards — generate, split, train.
+	envs := make([]*clusterEnv, len(specs))
+	err = runPool(len(specs), cfg.Workers, func(i int) error {
+		env, err := buildEnv(specs[i], cm, cfg.Train)
+		if err != nil {
+			return fmt.Errorf("fleet: cluster %s: %w", specs[i].Gen.Cluster, err)
+		}
+		counters.RecordModel()
+		envs[i] = env
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 2: the global model — one model for the whole fleet,
+	// trained on every cluster's training half (merged in cluster
+	// order, then time-sorted). This is the "don't bother with
+	// per-cluster models" strawman the comparison prices.
+	merged := &trace.Trace{Cluster: "fleet-global"}
+	for _, env := range envs {
+		merged.Jobs = append(merged.Jobs, env.train.Jobs...)
+	}
+	merged.Sort()
+	global, err := core.TrainCategoryModel(merged.Jobs, cm, cfg.Train)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: training global model: %w", err)
+	}
+	counters.RecordModel()
+	donor := envs[cfg.DonorCluster].model
+
+	// Phase 3: per-cluster evaluation shards.
+	results := make([]ClusterResult, len(specs))
+	err = runPool(len(specs), cfg.Workers, func(i int) error {
+		res, err := evalCluster(envs[i], cm, cfg, reg, global, donor, &counters)
+		if err != nil {
+			return fmt.Errorf("fleet: cluster %s: %w", envs[i].spec.Gen.Cluster, err)
+		}
+		results[i] = *res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 4: deterministic merge in cluster-index order.
+	rep := &Report{Clusters: results}
+	var hdd, perC, glob, transf, onl float64
+	onlineOn := cfg.Online != nil
+	for i := range results {
+		r := &results[i]
+		rep.TotalTestJobs += r.TestJobs
+		hdd += r.TotalTCOHDD
+		perC += r.PerCluster.TCOSaved
+		glob += r.Global.TCOSaved
+		transf += r.Transfer.TCOSaved
+		if r.Online != nil {
+			onl += r.Online.TCOPct / 100 * r.TotalTCOHDD
+		}
+	}
+	if hdd > 0 {
+		rep.PerClusterAggTCOPct = 100 * perC / hdd
+		rep.GlobalAggTCOPct = 100 * glob / hdd
+		rep.TransferAggTCOPct = 100 * transf / hdd
+		if onlineOn {
+			rep.OnlineAggTCOPct = 100 * onl / hdd
+		}
+	}
+	rep.Counters = counters.Snapshot()
+	return rep, nil
+}
+
+// fleetSpecs resolves the run's cluster specs (explicit or generated).
+func fleetSpecs(cfg Config) ([]trace.ClusterSpec, error) {
+	if cfg.Specs != nil {
+		return cfg.Specs, nil
+	}
+	return trace.FleetSpecs(cfg.Fleet)
+}
+
+// buildEnv runs one cluster's build shard: generate the trace, split
+// train/test halves (the paper's contiguous-window split), size the
+// quota off the test half's peak and train the cluster's own model.
+func buildEnv(spec trace.ClusterSpec, cm *cost.Model, topts core.TrainOptions) (*clusterEnv, error) {
+	full := trace.NewGenerator(spec.Gen).Generate()
+	train, test := full.SplitAt(spec.Gen.DurationSec / 2)
+	if len(train.Jobs) == 0 || len(test.Jobs) == 0 {
+		return nil, fmt.Errorf("empty train/test split (%d/%d jobs)", len(train.Jobs), len(test.Jobs))
+	}
+	model, err := core.TrainCategoryModel(train.Jobs, cm, topts)
+	if err != nil {
+		return nil, fmt.Errorf("training cluster model: %w", err)
+	}
+	return &clusterEnv{
+		spec:  spec,
+		train: train,
+		test:  test,
+		quota: test.PeakSSDUsage() * spec.QuotaFrac,
+		model: model,
+	}, nil
+}
+
+// evalCluster runs one cluster's evaluation shard: the three model
+// regimes on the test half, plus the optional online loop.
+func evalCluster(env *clusterEnv, cm *cost.Model, cfg Config, reg *registry.Registry,
+	global, donor *core.CategoryModel, counters *metrics.FleetCounters) (*ClusterResult, error) {
+	res := &ClusterResult{
+		Cluster:    env.spec.Gen.Cluster,
+		Jobs:       len(env.train.Jobs) + len(env.test.Jobs),
+		TestJobs:   len(env.test.Jobs),
+		QuotaFrac:  env.spec.QuotaFrac,
+		QuotaBytes: env.quota,
+	}
+	var simulated int64
+	for _, m := range []struct {
+		model *core.CategoryModel
+		out   *Method
+	}{
+		{env.model, &res.PerCluster},
+		{global, &res.Global},
+		{donor, &res.Transfer},
+	} {
+		r, err := evalModel(env, m.model, cm)
+		if err != nil {
+			return nil, err
+		}
+		simulated += int64(len(env.test.Jobs))
+		res.TotalTCOHDD = r.TotalTCOHDD
+		res.TotalTCIO = r.TotalTCIO
+		*m.out = Method{
+			TCOSaved:  r.TCOSaved,
+			TCIOSaved: r.TCIOSaved,
+			TCOPct:    r.TCOSavingsPercent(),
+			TCIOPct:   r.TCIOSavingsPercent(),
+		}
+	}
+	if cfg.Online != nil {
+		or, err := runOnline(env, cm, cfg, reg)
+		if err != nil {
+			return nil, err
+		}
+		simulated += int64(len(env.test.Jobs))
+		counters.RecordOnline(or.Swaps, or.Retrains)
+		res.Online = or
+	}
+	counters.RecordCluster(simulated)
+	return res, nil
+}
+
+// evalModel replays the cluster's test half under one model with a
+// fresh Algorithm 1 controller at the cluster's quota.
+func evalModel(env *clusterEnv, model *core.CategoryModel, cm *cost.Model) (*sim.Result, error) {
+	p, err := policy.NewAdaptiveRanking(model, cm, core.DefaultAdaptiveConfig(model.NumCategories()))
+	if err != nil {
+		return nil, err
+	}
+	return sim.Run(env.test, p, cm, sim.Config{SSDQuota: env.quota})
+}
+
+// runPool runs fn(0..n-1) on a bounded worker pool. Each callee writes
+// only to its own index, so any worker count yields the same outputs;
+// the first error wins and is returned after all workers drain.
+func runPool(n, workers int, fn func(i int) error) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	return firstErr
+}

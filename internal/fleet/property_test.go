@@ -1,0 +1,98 @@
+package fleet
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/cost"
+)
+
+// TestFleetWorkersDeterminism is the fleet determinism contract: the
+// same Config yields a bit-identical Report (struct and rendered text)
+// at any Workers value, online loops included — even though shards of
+// different clusters then run concurrently against one shared
+// registry. Run under -race in CI, this doubles as the fleet e2e data
+// race check.
+func TestFleetWorkersDeterminism(t *testing.T) {
+	if testing.Short() {
+		// Three full fleet runs with online loops; the dedicated
+		// race-enabled fleet-e2e CI job runs this without -short.
+		t.Skip("skipping 3-run fleet determinism matrix in short mode")
+	}
+	baseline := fleetAtWorkers(t, 1)
+	baseRender := renderReport(baseline)
+	for _, workers := range []int{2, 8} {
+		rep := fleetAtWorkers(t, workers)
+		if !reflect.DeepEqual(stripLatency(baseline), stripLatency(rep)) {
+			t.Fatalf("Workers=%d report differs from Workers=1", workers)
+		}
+		if got := renderReport(rep); !bytes.Equal(baseRender, got) {
+			t.Fatalf("Workers=%d rendered report differs from Workers=1:\n--- w1\n%s\n--- w%d\n%s",
+				workers, baseRender, workers, got)
+		}
+	}
+}
+
+func fleetAtWorkers(t *testing.T, workers int) *Report {
+	t.Helper()
+	cfg := testConfig(t)
+	cfg.Online = testOnlineConfig()
+	cfg.Workers = workers
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Workers=%d: %v", workers, err)
+	}
+	return rep
+}
+
+func renderReport(r *Report) []byte {
+	var buf bytes.Buffer
+	r.Render(&buf)
+	return buf.Bytes()
+}
+
+// stripLatency zeroes nothing today — every Report field is virtual-
+// time or count based — but keeps the comparison honest if wall-clock
+// fields are ever added: extend it rather than weakening the test.
+func stripLatency(r *Report) *Report { return r }
+
+// TestFleetPerClusterMatchesStandalone: a cluster inside a fleet run
+// reports exactly the savings the same spec produces when built and
+// evaluated standalone — fleet membership (shared pools, shared
+// registry, the other clusters' shards) must not perturb a cluster's
+// own numbers.
+func TestFleetPerClusterMatchesStandalone(t *testing.T) {
+	cfg := testConfig(t)
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs, err := fleetSpecs(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm := cost.Default()
+	for i, c := range rep.Clusters {
+		env, err := buildEnv(specs[i], cm, cfg.Train)
+		if err != nil {
+			t.Fatalf("standalone %s: %v", c.Cluster, err)
+		}
+		res, err := evalModel(env, env.model, cm)
+		if err != nil {
+			t.Fatalf("standalone %s: %v", c.Cluster, err)
+		}
+		if got, want := c.PerCluster.TCOSaved, res.TCOSaved; got != want {
+			t.Errorf("%s: fleet TCO saved %g != standalone %g", c.Cluster, got, want)
+		}
+		if got, want := c.PerCluster.TCIOSaved, res.TCIOSaved; got != want {
+			t.Errorf("%s: fleet TCIO saved %g != standalone %g", c.Cluster, got, want)
+		}
+		if got, want := c.TotalTCOHDD, res.TotalTCOHDD; got != want {
+			t.Errorf("%s: fleet all-HDD TCO %g != standalone %g", c.Cluster, got, want)
+		}
+		if got, want := c.QuotaBytes, env.quota; got != want {
+			t.Errorf("%s: fleet quota %g != standalone %g", c.Cluster, got, want)
+		}
+	}
+}

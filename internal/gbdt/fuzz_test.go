@@ -1,0 +1,96 @@
+package gbdt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// fuzzSeedModel trains a tiny but real classifier (numeric +
+// categorical features, 2 classes) and returns its JSON — the
+// well-formed corner of the fuzz corpus.
+func fuzzSeedModel(tb testing.TB) []byte {
+	tb.Helper()
+	const n = 24
+	ds := NewDataset(&Schema{
+		Names: []string{"x", "c"},
+		Kinds: []FeatureKind{Numeric, Categorical},
+		Cards: []int{0, 3},
+	}, n)
+	for i := 0; i < n; i++ {
+		ds.Set(i, 0, float64(i%7))
+		ds.Set(i, 1, float64(i%3))
+	}
+	labels := make([]int, n)
+	for i := range labels {
+		if i%7 > 3 {
+			labels[i] = 1
+		}
+	}
+	cfg := DefaultConfig()
+	cfg.NumRounds = 3
+	cfg.MaxDepth = 3
+	m, err := TrainClassifier(ds, labels, 2, cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzLoadModel: model deserialization must reject malformed input
+// with an error — never panic — and anything it accepts must survive
+// the full downstream lifecycle (per-row prediction, forest
+// compilation, re-serialization) without panicking either.
+func FuzzLoadModel(f *testing.F) {
+	valid := fuzzSeedModel(f)
+	f.Add(valid)
+	f.Add([]byte(``))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{"schema":null,"num_classes":2}`))
+	// Structural corruptions of the real model: truncation, a nil
+	// tree, an out-of-range feature, a negative category id, children
+	// pointing backwards.
+	f.Add(valid[:len(valid)/2])
+	f.Add(bytes.Replace(valid, []byte(`"nodes"`), []byte(`"n0des"`), 1))
+	f.Add([]byte(strings.Replace(string(valid), `"f":0`, `"f":99`, 1)))
+	f.Add([]byte(strings.Replace(string(valid), `"f":1`, `"f":-1`, 1)))
+	f.Add([]byte(strings.Replace(string(valid), `"l":1`, `"l":0`, 1)))
+	f.Add([]byte(`{"schema":{"names":["x"],"kinds":[0],"cards":[0]},"num_classes":1,` +
+		`"init_scores":[0],"trees":[[null]]}`))
+	f.Add([]byte(`{"schema":{"names":["c"],"kinds":[1],"cards":[2]},"num_classes":1,` +
+		`"init_scores":[0],"trees":[[{"nodes":[{"f":0,"k":1,"c":[-4],"l":1,"r":2},` +
+		`{"leaf":true},{"leaf":true}]}]]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return // rejected cleanly
+		}
+		// Accepted models must be fully usable. PredictProba and
+		// PredictValue panic by documented contract on the wrong model
+		// arity, so pick the matching entry point.
+		row := make([]float64, m.Schema.NumFeatures())
+		m.PredictClass(row)
+		if m.NumClasses >= 2 {
+			m.PredictProba(row)
+		} else {
+			m.PredictValue(row)
+		}
+		forest, err := m.Compile()
+		if err == nil {
+			forest.PredictClassBatch([][]float64{row}, nil, nil)
+		}
+		var buf bytes.Buffer
+		if err := m.Save(&buf); err != nil {
+			t.Fatalf("re-saving a loaded model failed: %v", err)
+		}
+		if _, err := Load(&buf); err != nil {
+			t.Fatalf("round trip of a loaded model failed: %v", err)
+		}
+	})
+}

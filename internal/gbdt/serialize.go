@@ -16,30 +16,88 @@ func (m *Model) Save(w io.Writer) error {
 	return nil
 }
 
-// Load reads a model written by Save and validates its schema.
+// Load reads a model written by Save and validates it deeply enough
+// that Predict*, Compile and Save on the result cannot panic: hostile
+// or corrupted input must surface as an error here, never as an
+// out-of-bounds access later.
 func Load(r io.Reader) (*Model, error) {
 	var m Model
 	if err := json.NewDecoder(r).Decode(&m); err != nil {
 		return nil, fmt.Errorf("gbdt: decode model: %w", err)
 	}
-	if m.Schema == nil {
-		return nil, fmt.Errorf("gbdt: model has no schema")
-	}
-	if err := m.Schema.Validate(); err != nil {
+	if err := m.Validate(); err != nil {
 		return nil, err
 	}
+	return &m, nil
+}
+
+// Validate checks the model's structural integrity: schema consistency,
+// per-round tree counts, and — per tree — pre-order child links,
+// in-range feature references and category ids. A model that passes is
+// safe to Predict, Compile and re-Save.
+func (m *Model) Validate() error {
+	if m.Schema == nil {
+		return fmt.Errorf("gbdt: model has no schema")
+	}
+	if err := m.Schema.Validate(); err != nil {
+		return err
+	}
+	if m.Schema.NumFeatures() == 0 {
+		return fmt.Errorf("gbdt: model schema has no features")
+	}
 	if m.NumClasses < 1 {
-		return nil, fmt.Errorf("gbdt: model has %d classes", m.NumClasses)
+		return fmt.Errorf("gbdt: model has %d classes", m.NumClasses)
 	}
 	if len(m.InitScores) != m.NumClasses {
-		return nil, fmt.Errorf("gbdt: %d init scores for %d classes", len(m.InitScores), m.NumClasses)
+		return fmt.Errorf("gbdt: %d init scores for %d classes", len(m.InitScores), m.NumClasses)
 	}
 	for r, round := range m.Trees {
 		if len(round) != m.NumClasses {
-			return nil, fmt.Errorf("gbdt: round %d has %d trees for %d classes", r, len(round), m.NumClasses)
+			return fmt.Errorf("gbdt: round %d has %d trees for %d classes", r, len(round), m.NumClasses)
+		}
+		for k, tree := range round {
+			if err := m.validateTree(tree); err != nil {
+				return fmt.Errorf("gbdt: round %d class %d: %w", r, k, err)
+			}
 		}
 	}
-	return &m, nil
+	return nil
+}
+
+// validateTree checks one tree's nodes against the schema.
+func (m *Model) validateTree(t *Tree) error {
+	if t == nil || len(t.Nodes) == 0 {
+		return fmt.Errorf("missing or empty tree")
+	}
+	numFeat := m.Schema.NumFeatures()
+	for i := range t.Nodes {
+		n := &t.Nodes[i]
+		if n.IsLeaf {
+			continue
+		}
+		if n.Feature < 0 || n.Feature >= numFeat {
+			return fmt.Errorf("node %d splits on feature %d of %d", i, n.Feature, numFeat)
+		}
+		if n.Kind != m.Schema.Kinds[n.Feature] {
+			return fmt.Errorf("node %d split kind %d disagrees with schema kind %d for feature %d",
+				i, n.Kind, m.Schema.Kinds[n.Feature], n.Feature)
+		}
+		// Children must strictly follow their parent (pre-order
+		// storage): both the descent loops and Compile rely on it.
+		if n.Left <= i || n.Left >= len(t.Nodes) || n.Right <= i || n.Right >= len(t.Nodes) {
+			return fmt.Errorf("node %d has out-of-order children (%d, %d) in a %d-node tree",
+				i, n.Left, n.Right, len(t.Nodes))
+		}
+		if n.Kind == Categorical {
+			card := int32(m.Schema.Cards[n.Feature])
+			for _, c := range n.LeftCats {
+				if c < 0 || c >= card {
+					return fmt.Errorf("node %d routes category %d of a cardinality-%d feature", i, c, card)
+				}
+			}
+		}
+	}
+	return nil
 }
 
 // SaveFile writes the model to a file.

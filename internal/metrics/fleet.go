@@ -1,0 +1,54 @@
+package metrics
+
+import "sync/atomic"
+
+// FleetCounters tracks a multi-cluster fleet run: cluster completions,
+// simulated jobs, trained models and online-loop activity, summed
+// across all cluster shards. All fields are updated atomically, so one
+// instance can be shared by every worker in the fleet pool and read
+// concurrently for progress reporting.
+type FleetCounters struct {
+	clustersDone  atomic.Int64
+	jobsSimulated atomic.Int64
+	modelsTrained atomic.Int64
+	onlineSwaps   atomic.Int64
+	onlineRetrain atomic.Int64
+}
+
+// RecordCluster counts one finished cluster shard and the jobs its
+// simulations replayed.
+func (c *FleetCounters) RecordCluster(jobsSimulated int64) {
+	c.clustersDone.Add(1)
+	c.jobsSimulated.Add(jobsSimulated)
+}
+
+// RecordModel counts one trained model (per-cluster, global or
+// candidate retrain).
+func (c *FleetCounters) RecordModel() { c.modelsTrained.Add(1) }
+
+// RecordOnline accumulates one cluster's online-loop activity.
+func (c *FleetCounters) RecordOnline(swaps, retrains int64) {
+	c.onlineSwaps.Add(swaps)
+	c.onlineRetrain.Add(retrains)
+}
+
+// FleetSnapshot is a point-in-time copy of the fleet counters.
+type FleetSnapshot struct {
+	ClustersDone   int64
+	JobsSimulated  int64
+	ModelsTrained  int64
+	OnlineSwaps    int64
+	OnlineRetrains int64
+}
+
+// Snapshot copies the counters. Concurrent updates may tear between
+// fields; each individual field is consistent.
+func (c *FleetCounters) Snapshot() FleetSnapshot {
+	return FleetSnapshot{
+		ClustersDone:   c.clustersDone.Load(),
+		JobsSimulated:  c.jobsSimulated.Load(),
+		ModelsTrained:  c.modelsTrained.Load(),
+		OnlineSwaps:    c.onlineSwaps.Load(),
+		OnlineRetrains: c.onlineRetrain.Load(),
+	}
+}

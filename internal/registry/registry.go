@@ -81,7 +81,27 @@ func (r *Registry) Subscribe(workload string, fn func(Version)) (cancel func()) 
 		r.mu.Lock()
 		defer r.mu.Unlock()
 		delete(r.subs[workload], id)
+		// Drop the per-workload map once empty: a fleet that churns
+		// through cluster/<id> workloads must not accumulate one
+		// empty map (and the callback it once held) per retired
+		// subscription. Safe under double-cancel.
+		if len(r.subs[workload]) == 0 {
+			delete(r.subs, workload)
+		}
 	}
+}
+
+// Subscribers returns the number of active subscriptions across all
+// workloads — an observability hook for shutdown and leak checks (a
+// closed server or learner must leave no subscription behind).
+func (r *Registry) Subscribers() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	n := 0
+	for _, m := range r.subs {
+		n += len(m)
+	}
+	return n
 }
 
 // notify snapshots the workload's subscribers under the read lock and

@@ -420,3 +420,42 @@ func TestSubscribeCallbackMayUseRegistry(t *testing.T) {
 		t.Fatalf("callback ran %d times, want 1", resolved)
 	}
 }
+
+// TestUnsubscribeCleansUp: cancelling subscriptions must release all
+// internal state — per-workload maps included — so a fleet churning
+// through cluster/<id> workloads cannot accumulate retired entries.
+func TestUnsubscribeCleansUp(t *testing.T) {
+	r := New()
+	var cancels []func()
+	for i := 0; i < 5; i++ {
+		w := fmt.Sprintf("cluster/C%d", i%3)
+		cancels = append(cancels, r.Subscribe(w, func(Version) {}))
+	}
+	if got := r.Subscribers(); got != 5 {
+		t.Fatalf("Subscribers() = %d, want 5", got)
+	}
+	for _, c := range cancels {
+		c()
+		c() // double-cancel must be a no-op
+	}
+	if got := r.Subscribers(); got != 0 {
+		t.Fatalf("Subscribers() = %d after cancelling all, want 0", got)
+	}
+	r.mu.RLock()
+	n := len(r.subs)
+	r.mu.RUnlock()
+	if n != 0 {
+		t.Fatalf("%d empty workload maps left after unsubscribe", n)
+	}
+	// The registry stays fully usable: a fresh subscription on a
+	// previously retired workload is delivered.
+	fired := 0
+	cancel := r.Subscribe("cluster/C0", func(Version) { fired++ })
+	defer cancel()
+	if _, err := r.Publish("cluster/C0", tinyModel(t, 11), 0); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("callback fired %d times after resubscribe, want 1", fired)
+	}
+}

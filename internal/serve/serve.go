@@ -180,7 +180,14 @@ func New(reg *registry.Registry, workload string, cm *cost.Model, cfg Config) (*
 	for i := 0; i < cfg.Shards; i++ {
 		a, err := core.NewAdaptive(cfg.Adaptive)
 		if err != nil {
+			// Tear down what already started: without this, the
+			// workers spawned by earlier iterations would block on
+			// their request channels forever.
 			s.unsub()
+			for _, sh := range s.shards {
+				close(sh.reqs)
+			}
+			s.wg.Wait()
 			return nil, err
 		}
 		sh := &shard{id: i, reqs: make(chan message, cfg.QueueDepth), adaptive: a}

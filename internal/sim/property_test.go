@@ -71,6 +71,74 @@ func TestSimulatorInvariantsUnderRandomPolicies(t *testing.T) {
 	}
 }
 
+// TestSimulatorConservationRandomized checks the physical conservation
+// laws over randomized configurations (quota, load scale, noise,
+// eviction): bytes placed on SSD never exceed the trace's bytes, no
+// job is over-placed, and occupancy stays inside the quota at every
+// accounting point.
+func TestSimulatorConservationRandomized(t *testing.T) {
+	cm := cost.Default()
+	for trial := 0; trial < 12; trial++ {
+		seed := int64(9000 + trial)
+		rng := rand.New(rand.NewSource(seed))
+		gcfg := trace.DefaultGeneratorConfig("K", seed)
+		gcfg.DurationSec = (6 + 18*rng.Float64()) * 3600
+		gcfg.NumUsers = 2 + rng.Intn(5)
+		gcfg.LoadScale = 0.5 + 1.5*rng.Float64()
+		gcfg.NoiseScale = 0.7 + rng.Float64()
+		tr := trace.NewGenerator(gcfg).Generate()
+		if len(tr.Jobs) == 0 {
+			continue
+		}
+		quota := tr.PeakSSDUsage() * rng.Float64() * 0.8
+		var p Policy = randomPolicy{rng: rand.New(rand.NewSource(seed * 3)), prob: 0.3 + 0.6*rng.Float64()}
+		if trial%3 == 0 {
+			// Every third trial evicts early, exercising the release
+			// heap's partial-residency path.
+			p = evictingRandom{randomPolicy: p.(randomPolicy), after: 600 + 3600*rng.Float64()}
+		}
+		res, err := Run(tr, p, cm, Config{SSDQuota: quota, KeepRecords: true, TimelineStep: 1800})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+
+		var traceBytes, placedBytes float64
+		for _, rec := range res.Records {
+			traceBytes += rec.Job.SizeBytes
+			placed := rec.Outcome.FracOnSSD * rec.Job.SizeBytes
+			if placed > rec.Job.SizeBytes*(1+1e-12) {
+				t.Fatalf("trial %d: job %s over-placed (%g of %g bytes)",
+					trial, rec.Job.ID, placed, rec.Job.SizeBytes)
+			}
+			placedBytes += placed
+		}
+		if placedBytes > traceBytes*(1+1e-12) {
+			t.Fatalf("trial %d: placed %g bytes of a %g-byte trace", trial, placedBytes, traceBytes)
+		}
+		if res.SSDPeakUsed > quota*(1+1e-9)+1 {
+			t.Fatalf("trial %d: peak %g exceeds quota %g", trial, res.SSDPeakUsed, quota)
+		}
+		for _, pt := range res.Timeline {
+			if pt.Used > pt.Quota*(1+1e-9)+1 {
+				t.Fatalf("trial %d: timeline usage %g exceeds quota %g at t=%g",
+					trial, pt.Used, pt.Quota, pt.At)
+			}
+			if pt.Used < 0 {
+				t.Fatalf("trial %d: negative usage %g at t=%g", trial, pt.Used, pt.At)
+			}
+		}
+	}
+}
+
+// evictingRandom is a random policy that also evicts after a fixed
+// delay.
+type evictingRandom struct {
+	randomPolicy
+	after float64
+}
+
+func (p evictingRandom) EvictAfter(*trace.Job) float64 { return p.after }
+
 func abs(x float64) float64 {
 	if x < 0 {
 		return -x

@@ -1,0 +1,76 @@
+// Package testutil holds shared test helpers: golden-file comparison
+// with an -update flag to regenerate expectations.
+package testutil
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// update is registered once here; only test binaries that link this
+// package gain the flag, so name them explicitly when regenerating:
+// go test -run Golden ./internal/experiments ./internal/fleet -update
+// (a bare ./... fails in packages that don't define -update)
+var update = flag.Bool("update", false, "rewrite golden files with the current output")
+
+// Golden compares got against the golden file at path (relative to the
+// test's working directory, conventionally testdata/<name>.golden).
+// With -update it rewrites the file instead and logs the change.
+// Golden output must be deterministic — fixed ordering, fixed float
+// precision, no wall-clock values.
+func Golden(t *testing.T, path string, got []byte) {
+	t.Helper()
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatalf("golden: %v", err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatalf("golden: %v", err)
+		}
+		t.Logf("golden: rewrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden: %v (run with -update to create it)", err)
+	}
+	if bytes.Equal(want, got) {
+		return
+	}
+	t.Errorf("golden: output differs from %s (re-run with -update if the change is intended)\n%s",
+		path, diff(want, got))
+}
+
+// diff renders a line-oriented first-divergence report: full diffs need
+// no dependency for the small reports golden tests pin.
+func diff(want, got []byte) string {
+	wl := bytes.Split(want, []byte("\n"))
+	gl := bytes.Split(got, []byte("\n"))
+	var out bytes.Buffer
+	n := len(wl)
+	if len(gl) > n {
+		n = len(gl)
+	}
+	for i := 0; i < n; i++ {
+		var w, g []byte
+		if i < len(wl) {
+			w = wl[i]
+		}
+		if i < len(gl) {
+			g = gl[i]
+		}
+		if bytes.Equal(w, g) {
+			continue
+		}
+		fmt.Fprintf(&out, "line %d:\n  want: %s\n  got:  %s\n", i+1, w, g)
+		if out.Len() > 2000 {
+			fmt.Fprintln(&out, "  ... (truncated)")
+			break
+		}
+	}
+	return out.String()
+}

@@ -1,0 +1,56 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fuzzSeedTrace serializes a small generated trace — the well-formed
+// corner of the fuzz corpus.
+func fuzzSeedTrace(tb testing.TB) []byte {
+	tb.Helper()
+	cfg := DefaultGeneratorConfig("fz", 3)
+	cfg.DurationSec = 2 * 3600
+	cfg.NumUsers = 2
+	tr := NewGenerator(cfg).Generate()
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, tr); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzReadJSONL: trace parsing must reject malformed input with an
+// error — never panic — and any trace it accepts must round-trip
+// through WriteJSONL/ReadJSONL preserving its shape.
+func FuzzReadJSONL(f *testing.F) {
+	valid := fuzzSeedTrace(f)
+	f.Add(valid)
+	f.Add([]byte(``))
+	f.Add([]byte(`{"cluster":"c","num_jobs":0}` + "\n"))
+	f.Add([]byte(`{"cluster":"c","num_jobs":3}` + "\n")) // header lies
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(`{"cluster":"c","num_jobs":1}` + "\n" + `{"id":"j0","arrival_sec":1e999}` + "\n"))
+	f.Add([]byte(`{"cluster":"c","num_jobs":1}` + "\n" + `{"id":"j0"` + "\n")) // truncated job
+	f.Add(valid[:len(valid)-len(valid)/3])
+	f.Add(bytes.Replace(valid, []byte(`"arrival_sec"`), []byte(`"arrival_sec":[],"x"`), 1))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ReadJSONL(bytes.NewReader(data))
+		if err != nil {
+			return // rejected cleanly
+		}
+		var buf bytes.Buffer
+		if err := WriteJSONL(&buf, tr); err != nil {
+			t.Fatalf("re-serializing a parsed trace failed: %v", err)
+		}
+		tr2, err := ReadJSONL(&buf)
+		if err != nil {
+			t.Fatalf("round trip of a parsed trace failed: %v", err)
+		}
+		if tr2.Cluster != tr.Cluster || len(tr2.Jobs) != len(tr.Jobs) {
+			t.Fatalf("round trip changed shape: %q/%d jobs -> %q/%d jobs",
+				tr.Cluster, len(tr.Jobs), tr2.Cluster, len(tr2.Jobs))
+		}
+	})
+}
