@@ -24,9 +24,11 @@
 //
 // Beyond the offline pipeline, the package exposes the deployment
 // stack: NewServerFromRegistry serves placements concurrently with
-// batched inference and registry-driven hot swap, and NewOnlineLearner
+// batched inference and registry-driven hot swap, NewOnlineLearner
 // closes the loop by retraining on served outcomes and publishing
-// gate-approved candidates back to the registry (see
+// gate-approved candidates back to the registry, and NewDaemon/
+// NewClient put that serving stack behind a JSON-over-HTTP wire
+// protocol with admission control and an ops plane (see
 // docs/ARCHITECTURE.md for the full data flow).
 package byom
 
@@ -39,6 +41,8 @@ import (
 	"repro/internal/oracle"
 	"repro/internal/policy"
 	"repro/internal/registry"
+	"repro/internal/rpc"
+	"repro/internal/rpc/wire"
 	"repro/internal/serve"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -140,6 +144,28 @@ type (
 	FleetClusterResult = fleet.ClusterResult
 	// FleetStats is a snapshot of the fleet run counters.
 	FleetStats = metrics.FleetSnapshot
+
+	// Daemon is the network-facing placement service: the serving
+	// layer behind a JSON-over-HTTP wire protocol with per-endpoint
+	// admission control, graceful drain and a /healthz + /varz ops
+	// plane.
+	Daemon = rpc.Daemon
+	// DaemonConfig tunes the daemon (serving core, in-flight limits,
+	// queue deadline, batch/body caps, optional attached learner).
+	DaemonConfig = rpc.Config
+	// Client speaks the wire protocol to one daemon with connection
+	// reuse, per-request deadlines and bounded retries on sheds.
+	Client = rpc.Client
+	// ClientConfig tunes a placement client.
+	ClientConfig = rpc.ClientConfig
+	// ClientStats counts a client's request outcomes (sheds, retries).
+	ClientStats = rpc.ClientStats
+	// RPCStats is a snapshot of the daemon's request counters.
+	RPCStats = metrics.RPCSnapshot
+	// WireDecision is one placement verdict as it crosses the wire.
+	WireDecision = wire.Decision
+	// WireModelInfo is the daemon's active-model metadata payload.
+	WireModelInfo = wire.ModelInfo
 )
 
 // FullResidency is the PartialOutcome of a job that kept its SSD
@@ -232,6 +258,36 @@ func NewServer(model *CategoryModel, cm *CostModel, cfg ServeConfig) (*Server, e
 // Rollback swaps the compiled model atomically without pausing traffic.
 func NewServerFromRegistry(reg *ModelRegistry, workload string, cm *CostModel, cfg ServeConfig) (*Server, error) {
 	return serve.New(reg, workload, cm, cfg)
+}
+
+// DefaultDaemonConfig returns placement-daemon parameters for an
+// N-category model: the serving defaults plus 64 in-flight placement
+// requests, 256 in-flight feedback posts and a 5 ms queue deadline.
+func DefaultDaemonConfig(numCategories int) DaemonConfig {
+	return rpc.DefaultConfig(numCategories)
+}
+
+// NewDaemon builds the placement daemon serving the workload's active
+// model from reg over the JSON-over-HTTP wire protocol (POST
+// /v1/place, POST /v1/outcome, GET /v1/model, /healthz, /varz).
+// Start it with (*Daemon).Start and stop it with (*Daemon).Shutdown;
+// registry publishes hot-swap the model under live network load.
+func NewDaemon(reg *ModelRegistry, workload string, cm *CostModel, cfg DaemonConfig) (*Daemon, error) {
+	return rpc.NewDaemon(reg, workload, cm, cfg)
+}
+
+// DefaultClientConfig returns client parameters for a daemon at
+// baseURL: 2 s deadlines and 3 shed retries with doubling backoff.
+func DefaultClientConfig(baseURL string) ClientConfig {
+	return rpc.DefaultClientConfig(baseURL)
+}
+
+// NewClient builds a placement client for the daemon at cfg.BaseURL.
+// One Client is meant to be shared by many goroutines; it reuses
+// connections, applies per-request deadlines and absorbs shed (429)
+// responses with bounded retries.
+func NewClient(cfg ClientConfig) (*Client, error) {
+	return rpc.NewClient(cfg)
 }
 
 // DefaultOnlineConfig returns continuous-learning parameters for an

@@ -1,7 +1,9 @@
 package byom_test
 
 import (
+	"context"
 	"testing"
+	"time"
 
 	"repro/byom"
 )
@@ -250,5 +252,79 @@ func TestPublicAPIOnlineLoop(t *testing.T) {
 	}
 	if _, err := byom.TailSavingsPercent(res, cm, replay.Jobs[0].ArrivalSec); err != nil {
 		t.Errorf("tail savings: %v", err)
+	}
+}
+
+// TestPublicAPIDaemon walks the documented network flow: train, stand
+// up a daemon on a loopback port, place over the wire with a client,
+// post feedback, read model metadata and drain.
+func TestPublicAPIDaemon(t *testing.T) {
+	gcfg := byom.DefaultGeneratorConfig("daemon-demo", 9)
+	gcfg.DurationSec = 24 * 3600
+	gcfg.NumUsers = 5
+	full := byom.GenerateCluster(gcfg)
+
+	cm := byom.DefaultCostModel()
+	opts := byom.DefaultTrainOptions()
+	opts.NumCategories = 5
+	opts.GBDT.NumRounds = 4
+	opts.GBDT.MaxDepth = 3
+	model, err := byom.TrainCategoryModel(full.Jobs, cm, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := byom.NewModelRegistry()
+	if _, err := reg.Publish("svc", model, 0); err != nil {
+		t.Fatal(err)
+	}
+	d, err := byom.NewDaemon(reg, "svc", cm, byom.DefaultDaemonConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := d.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+
+	c, err := byom.NewClient(byom.DefaultClientConfig(d.BaseURL()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+
+	jobs := full.Jobs
+	if len(jobs) > 64 {
+		jobs = jobs[:64]
+	}
+	decisions, err := c.Place(ctx, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decisions) != len(jobs) {
+		t.Fatalf("%d decisions for %d jobs", len(decisions), len(jobs))
+	}
+	if decisions[0].JobID != jobs[0].ID {
+		t.Errorf("decision echoes %q, want %q", decisions[0].JobID, jobs[0].ID)
+	}
+	o := byom.Outcome{WantedSSD: decisions[0].Admit, FracOnSSD: 1, SpilledAt: -1, EvictedAt: -1}
+	if err := c.Observe(ctx, jobs[0], decisions[0].Category, o); err != nil {
+		t.Fatal(err)
+	}
+	info, err := c.ModelInfo(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Workload != "svc" || info.ModelVersion != 1 || info.NumCategories != 5 {
+		t.Errorf("model info %+v", info)
+	}
+	if stats := d.Stats(); stats.PlaceJobs != int64(len(jobs)) {
+		t.Errorf("daemon counted %d placements, want %d", stats.PlaceJobs, len(jobs))
 	}
 }

@@ -13,23 +13,31 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/byom"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	// SIGINT/SIGTERM cancel the run between cluster shards: in-flight
+	// shards drain (servers and learners shut down cleanly), later
+	// shards never start.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "fleet:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, stdout io.Writer) error {
+func run(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("fleet", flag.ContinueOnError)
 	var (
 		clusters   = fs.Int("clusters", 4, "number of clusters in the fleet")
@@ -49,6 +57,7 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 	cfg := byom.DefaultFleetConfig(*clusters, *seed)
+	cfg.Context = ctx
 	cfg.Fleet.DurationSec = *days * 24 * 3600
 	cfg.Fleet.Users = *users
 	cfg.Workers = *workers
@@ -70,12 +79,7 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 	rep.Render(stdout)
-	cs := rep.Counters
-	fmt.Fprintf(stdout, "\nfleet totals: %d clusters, %d models trained, %d jobs simulated",
-		cs.ClustersDone, cs.ModelsTrained, cs.JobsSimulated)
-	if *withOnline {
-		fmt.Fprintf(stdout, ", %d online retrains, %d hot swaps", cs.OnlineRetrains, cs.OnlineSwaps)
-	}
-	fmt.Fprintln(stdout)
+	fmt.Fprintf(stdout, "\nfleet totals:\n")
+	rep.Counters.WriteText(stdout, "fleet")
 	return nil
 }

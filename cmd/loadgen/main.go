@@ -1,0 +1,237 @@
+// Command loadgen drives a live placementd with synthetic placement
+// traffic: it generates a trace, replays it as batched /v1/place
+// requests at a target QPS over N concurrent connections (closed-loop:
+// each connection waits for its response before its next scheduled
+// send), and reports achieved throughput, shed/retry counts and
+// latency quantiles.
+//
+// Usage:
+//
+//	loadgen -addr 127.0.0.1:7070 -qps 20000 -conns 8 -duration 10s
+//	loadgen -addr 127.0.0.1:7070 -qps 0           # unpaced, max rate
+//	loadgen -addr 127.0.0.1:7070 -outcomes        # also post feedback
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/rpc"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", "", "placementd address (host:port), required")
+		qps      = fs.Float64("qps", 20000, "target placements/sec across all connections (0 = unpaced)")
+		conns    = fs.Int("conns", 8, "concurrent connections (closed-loop submitters)")
+		duration = fs.Duration("duration", 10*time.Second, "load duration")
+		chunk    = fs.Int("chunk", 64, "jobs per place request")
+		deadline = fs.Duration("deadline", time.Second, "per-request deadline")
+		retries  = fs.Int("retries", 4, "bounded retries after shed (429) responses")
+		backoff  = fs.Duration("backoff", 2*time.Millisecond, "first retry backoff (doubles per retry)")
+		outcomes = fs.Bool("outcomes", false, "post one outcome per request batch (exercises /v1/outcome)")
+		days     = fs.Float64("days", 1, "generated trace length in days")
+		users    = fs.Int("users", 6, "generated trace users")
+		seed     = fs.Int64("seed", 1, "generated trace seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
+	if *addr == "" {
+		return fmt.Errorf("-addr is required")
+	}
+	if *conns < 1 || *chunk < 1 {
+		return fmt.Errorf("-conns and -chunk must be >= 1")
+	}
+
+	gcfg := trace.DefaultGeneratorConfig("loadgen", *seed)
+	gcfg.DurationSec = *days * 24 * 3600
+	gcfg.NumUsers = *users
+	pool := trace.NewGenerator(gcfg).Generate().Jobs
+	if len(pool) < *chunk+1 {
+		return fmt.Errorf("generated pool of %d jobs is smaller than one %d-job chunk; raise -days or -users", len(pool), *chunk)
+	}
+
+	ccfg := rpc.DefaultClientConfig("http://" + *addr)
+	ccfg.RequestTimeout = *deadline
+	ccfg.MaxRetries = *retries
+	ccfg.RetryBackoff = *backoff
+	client, err := rpc.NewClient(ccfg)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+	info, err := client.ModelInfo(ctx)
+	if err != nil {
+		return fmt.Errorf("probing %s: %w", *addr, err)
+	}
+
+	// Pacing: request n is due at start + n*interval, shared across
+	// connections through one ticket counter. Each connection is
+	// closed-loop — it never pipelines past its own in-flight request —
+	// so offered load degrades gracefully when the daemon slows down.
+	var interval time.Duration
+	if *qps > 0 {
+		interval = time.Duration(float64(*chunk) / *qps * float64(time.Second))
+	}
+	var (
+		tickets    atomic.Int64
+		placements atomic.Int64
+		outPosts   atomic.Int64
+		errCount   atomic.Int64
+		wg         sync.WaitGroup
+	)
+	latencies := make([][]float64, *conns) // per-conn, ms
+	start := time.Now()
+	end := start.Add(*duration)
+	for w := 0; w < *conns; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				// Wall clock bounds the run in both modes: when the
+				// daemon can't keep up with the offered rate, the
+				// ticket schedule lags real time and would otherwise
+				// stretch the run far past -duration.
+				if !time.Now().Before(end) {
+					return
+				}
+				n := tickets.Add(1) - 1
+				if interval > 0 {
+					sched := start.Add(time.Duration(n) * interval)
+					if sched.After(end) {
+						return
+					}
+					if wait := time.Until(sched); wait > 0 {
+						select {
+						case <-time.After(wait):
+						case <-ctx.Done():
+							return
+						}
+					}
+				}
+				lo := int(n) * *chunk % (len(pool) - *chunk)
+				jobs := pool[lo : lo+*chunk]
+				sent := time.Now()
+				decs, err := client.Place(ctx, jobs)
+				if err != nil {
+					errCount.Add(1)
+					// Failed requests keep their measured duration —
+					// dropping them would understate tail latency in
+					// exactly the overload regime loadgen exists to
+					// expose. Only our own shutdown is excluded.
+					if ctx.Err() == nil {
+						latencies[w] = append(latencies[w], float64(time.Since(sent).Nanoseconds())/1e6)
+					}
+					continue
+				}
+				latencies[w] = append(latencies[w], float64(time.Since(sent).Nanoseconds())/1e6)
+				placements.Add(int64(len(decs)))
+				if *outcomes {
+					d0 := decs[0]
+					o := sim.Outcome{WantedSSD: d0.Admit, FracOnSSD: 1, SpilledAt: -1, EvictedAt: -1}
+					if err := client.Observe(ctx, jobs[0], d0.Category, o); err == nil {
+						outPosts.Add(1)
+					} else {
+						errCount.Add(1)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []float64
+	for _, l := range latencies {
+		all = append(all, l...)
+	}
+	s := summary{
+		Target:       "http://" + *addr,
+		ModelVersion: info.ModelVersion,
+		Conns:        *conns,
+		Chunk:        *chunk,
+		TargetQPS:    *qps,
+		Elapsed:      elapsed,
+		Requests:     int64(len(all)),
+		Placements:   placements.Load(),
+		Outcomes:     outPosts.Load(),
+		Errors:       errCount.Load(),
+		Client:       client.Stats(),
+	}
+	if elapsed > 0 {
+		s.AchievedQPS = float64(s.Placements) / elapsed.Seconds()
+	}
+	if len(all) > 0 {
+		qs := metrics.Quantiles(all, []float64{0.50, 0.95, 0.99, 1})
+		s.P50ms, s.P95ms, s.P99ms, s.MaxMs = qs[0], qs[1], qs[2], qs[3]
+	}
+	writeSummary(stdout, s)
+	// A signal mid-run is a graceful early stop: the summary above
+	// covers whatever traffic ran.
+	return nil
+}
+
+// summary aggregates one load run for reporting.
+type summary struct {
+	Target       string
+	ModelVersion int
+	Conns, Chunk int
+	TargetQPS    float64
+	Elapsed      time.Duration
+	Requests     int64
+	Placements   int64
+	Outcomes     int64
+	Errors       int64
+	Client       rpc.ClientStats
+	AchievedQPS  float64
+	P50ms        float64
+	P95ms        float64
+	P99ms        float64
+	MaxMs        float64
+}
+
+// writeSummary renders the run report. The format is deterministic for
+// fixed summary values and pinned by a golden test — scripts parse it.
+func writeSummary(w io.Writer, s summary) {
+	offered := "unpaced"
+	if s.TargetQPS > 0 {
+		offered = fmt.Sprintf("%.0f placements/sec", s.TargetQPS)
+	}
+	fmt.Fprintf(w, "loadgen summary\n")
+	fmt.Fprintf(w, "  target:    %s (model v%d)\n", s.Target, s.ModelVersion)
+	fmt.Fprintf(w, "  offered:   %s over %d conns, %d-job requests\n", offered, s.Conns, s.Chunk)
+	fmt.Fprintf(w, "  measured:  %.2fs wall, %d requests, %d placements, %d outcomes\n",
+		s.Elapsed.Seconds(), s.Requests, s.Placements, s.Outcomes)
+	fmt.Fprintf(w, "  achieved:  %.0f placements/sec\n", s.AchievedQPS)
+	fmt.Fprintf(w, "  shedding:  %d sheds, %d retries, %d failures, %d request errors\n",
+		s.Client.Sheds, s.Client.Retries, s.Client.Failures, s.Errors)
+	fmt.Fprintf(w, "  latency:   p50 %.2fms  p95 %.2fms  p99 %.2fms  max %.2fms\n",
+		s.P50ms, s.P95ms, s.P99ms, s.MaxMs)
+}

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/registry"
+	"repro/internal/rpc"
+	"repro/internal/testutil"
+	"repro/internal/trace"
+)
+
+// TestSummaryGolden pins the loadgen report format with fixed values —
+// scripts (and the BENCH_rpc.json recording procedure) parse it.
+func TestSummaryGolden(t *testing.T) {
+	s := summary{
+		Target:       "http://127.0.0.1:7070",
+		ModelVersion: 3,
+		Conns:        8,
+		Chunk:        64,
+		TargetQPS:    20000,
+		Elapsed:      10*time.Second + 34*time.Millisecond,
+		Requests:     3117,
+		Placements:   199488,
+		Outcomes:     3117,
+		Errors:       0,
+		Client:       rpc.ClientStats{Requests: 6234, Sheds: 12, Retries: 12, Failures: 0},
+		AchievedQPS:  19881.1,
+		P50ms:        3.91,
+		P95ms:        5.68,
+		P99ms:        7.42,
+		MaxMs:        14.8,
+	}
+	var b bytes.Buffer
+	writeSummary(&b, s)
+	testutil.Golden(t, "testdata/summary.golden", b.Bytes())
+
+	// The unpaced variant renders "unpaced" instead of a rate.
+	s.TargetQPS = 0
+	b.Reset()
+	writeSummary(&b, s)
+	if !strings.Contains(b.String(), "offered:   unpaced over 8 conns") {
+		t.Errorf("unpaced summary:\n%s", b.String())
+	}
+}
+
+// TestLoadgenAgainstDaemon is the closed-loop smoke: a real daemon on
+// a loopback port, a short paced run with outcomes, zero failures.
+func TestLoadgenAgainstDaemon(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model and drives real HTTP load")
+	}
+	gcfg := trace.DefaultGeneratorConfig("loadgen-test", 5)
+	gcfg.DurationSec = 24 * 3600
+	gcfg.NumUsers = 4
+	tr := trace.NewGenerator(gcfg).Generate()
+	cm := cost.Default()
+	opts := core.DefaultTrainOptions()
+	opts.NumCategories = 4
+	opts.GBDT.NumRounds = 3
+	opts.GBDT.MaxDepth = 4
+	model, err := core.TrainCategoryModel(tr.Jobs, cm, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := registry.New()
+	if _, err := reg.Publish("w", model, 0); err != nil {
+		t.Fatal(err)
+	}
+	d, err := rpc.NewDaemon(reg, "w", cm, rpc.DefaultConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := d.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+
+	var out bytes.Buffer
+	err = run(context.Background(), []string{
+		"-addr", d.Addr(), "-qps", "2000", "-conns", "2", "-chunk", "16",
+		"-duration", "500ms", "-days", "0.2", "-users", "3", "-outcomes",
+	}, &out)
+	if err != nil {
+		t.Fatalf("loadgen: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{"loadgen summary", "achieved:", "latency:   p50", " 0 failures, 0 request errors"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+	if d.Stats().PlaceJobs == 0 {
+		t.Error("daemon served no placements during the load run")
+	}
+	if d.Stats().OutcomeRequests == 0 {
+		t.Error("-outcomes posted no feedback")
+	}
+}
+
+func TestLoadgenRejectsBadFlags(t *testing.T) {
+	ctx := context.Background()
+	var buf bytes.Buffer
+	if err := run(ctx, nil, &buf); err == nil {
+		t.Error("missing -addr accepted")
+	}
+	if err := run(ctx, []string{"-addr", "h:1", "-conns", "0"}, &buf); err == nil {
+		t.Error("zero conns accepted")
+	}
+	if err := run(ctx, []string{"-addr", "127.0.0.1:9", "-duration", "10ms"}, &buf); err == nil {
+		t.Error("unreachable daemon accepted (probe should fail)")
+	}
+	if err := run(ctx, []string{"-bogus"}, &buf); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

@@ -22,12 +22,16 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"sync"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
@@ -42,13 +46,18 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	// SIGINT/SIGTERM stop the replay streams between chunks; the
+	// server then drains in-flight batches and the counters still
+	// flush below.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "serve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, stdout io.Writer) error {
+func run(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	var (
 		tracePath  = fs.String("trace", "", "input trace (JSON lines); empty generates a synthetic cluster")
@@ -87,7 +96,7 @@ func run(args []string, stdout io.Writer) error {
 		if *tracePath != "" || *modelPath != "" {
 			return fmt.Errorf("-online builds its own drifting trace and model; it cannot be combined with -trace or -model")
 		}
-		return runOnline(onlineParams{
+		return runOnline(ctx, onlineParams{
 			days: *days, users: *users, seed: *seed,
 			rounds: *rounds, categories: *categories, shards: *shards,
 			retrainHours: *retrainHours, driftTV: *driftTV, gateEps: *gateEps,
@@ -139,37 +148,43 @@ func run(args []string, stdout io.Writer) error {
 		}()
 	}
 
-	elapsed, err := replayServer(srv, jobs, *submitters, *chunk)
+	elapsed, err := replayServer(ctx, srv, jobs, *submitters, *chunk)
 	if err != nil {
 		return err
 	}
 	if swapped != nil {
 		<-swapped
 	}
-	serveRate := float64(len(jobs)) / elapsed.Seconds()
 
 	stats := srv.Stats()
-	fmt.Fprintf(stdout, "replayed jobs:    %d across %d submitters\n", len(jobs), *submitters)
+	replayed := stats.Submitted // < len(jobs) when a signal stopped the streams
+	if ctx.Err() != nil {
+		fmt.Fprintf(stdout, "interrupted: replay stopped after %d of %d jobs\n", replayed, len(jobs))
+	}
+	serveRate := float64(replayed) / elapsed.Seconds()
+	fmt.Fprintf(stdout, "replayed jobs:    %d across %d submitters\n", replayed, *submitters)
 	fmt.Fprintf(stdout, "serve throughput: %.0f jobs/sec (%.2fs wall)\n", serveRate, elapsed.Seconds())
-	fmt.Fprintf(stdout, "admitted:         %.1f%%\n", 100*float64(stats.Admitted)/float64(stats.Submitted))
-	fmt.Fprintf(stdout, "batches:          %d (mean size %.1f, %d timeout / %d full flushes)\n",
-		stats.Batches, stats.MeanBatchSize, stats.TimeoutFlushes, stats.FullFlushes)
-	fmt.Fprintf(stdout, "latency:          mean %s, max %s\n", stats.MeanLatency, stats.MaxLatency)
 	fmt.Fprintf(stdout, "model version:    v%d (%d swaps)\n", srv.ModelVersion(), srv.Swaps())
+	stats.WriteText(stdout, "serve")
 	acts := srv.ACT()
 	for i, snap := range srv.ShardSnapshots() {
 		fmt.Fprintf(stdout, "  shard %d: %6d jobs, ACT %d, mean batch %.1f\n",
 			i, snap.Submitted, acts[i], snap.MeanBatchSize)
 	}
 
-	if *naive {
-		naiveElapsed, err := replayNaive(model, cm, jobs, *submitters)
+	// The naive comparison is skipped once a signal arrived: a partial
+	// serve rate against a full naive replay would print a meaningless
+	// speedup (and ignore the user's request to stop).
+	if *naive && ctx.Err() == nil {
+		naiveReplayed, naiveElapsed, err := replayNaive(ctx, model, cm, jobs, *submitters)
 		if err != nil {
 			return err
 		}
-		naiveRate := float64(len(jobs)) / naiveElapsed.Seconds()
+		naiveRate := float64(naiveReplayed) / naiveElapsed.Seconds()
 		fmt.Fprintf(stdout, "naive throughput: %.0f jobs/sec (%.2fs wall)\n", naiveRate, naiveElapsed.Seconds())
-		fmt.Fprintf(stdout, "speedup:          %.2fx\n", serveRate/naiveRate)
+		if ctx.Err() == nil {
+			fmt.Fprintf(stdout, "speedup:          %.2fx\n", serveRate/naiveRate)
+		}
 	}
 	return nil
 }
@@ -188,8 +203,9 @@ type onlineParams struct {
 }
 
 // runOnline replays the drifting multi-week scenario through the full
-// closed loop and compares it against a frozen-model baseline.
-func runOnline(p onlineParams, stdout io.Writer) error {
+// closed loop and compares it against a frozen-model baseline. A
+// signal between the two replays skips the remaining work.
+func runOnline(ctx context.Context, p onlineParams, stdout io.Writer) error {
 	opts := experiments.Options{
 		Seed:          p.seed,
 		Days:          p.days,
@@ -242,6 +258,9 @@ func runOnline(p onlineParams, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 
 	// The closed loop, printing each gate decision as it happens.
 	reg, err = newReg()
@@ -288,12 +307,8 @@ func runOnline(p onlineParams, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	stats := learner.Stats()
-	fmt.Fprintf(stdout, "retrains:          %d (%d accepted, %d rejected, %d errors)\n",
-		stats.Retrains, stats.GateAccepts, stats.GateRejects, stats.TrainErrors)
-	fmt.Fprintf(stdout, "triggers:          %d cadence, %d drift\n", stats.CadenceTriggers, stats.DriftTriggers)
-	fmt.Fprintf(stdout, "retrain latency:   mean %s, max %s\n", stats.MeanRetrainLatency, stats.MaxRetrainLatency)
-	fmt.Fprintf(stdout, "window:            %d records held, %d evicted\n", learner.WindowLen(), stats.Evictions)
+	learner.Stats().WriteText(stdout, "online")
+	fmt.Fprintf(stdout, "window:            %d records held\n", learner.WindowLen())
 	fmt.Fprintf(stdout, "model swaps:       %d (serving v%d)\n", srv.Swaps(), srv.ModelVersion())
 	fmt.Fprintf(stdout, "full-replay TCO:   online %.3f%% vs frozen %.3f%%\n",
 		onlineRes.TCOSavingsPercent(), frozenRes.TCOSavingsPercent())
@@ -333,8 +348,9 @@ func loadOrTrain(path string, train *trace.Trace, cm *cost.Model, categories, ro
 }
 
 // replayServer pushes jobs through the server from n concurrent
-// submitter streams and returns the wall time.
-func replayServer(srv *serve.Server, jobs []*trace.Job, n, chunk int) (time.Duration, error) {
+// submitter streams and returns the wall time. Cancelling ctx stops
+// every stream at its next chunk boundary (in-flight batches drain).
+func replayServer(ctx context.Context, srv *serve.Server, jobs []*trace.Job, n, chunk int) (time.Duration, error) {
 	var wg sync.WaitGroup
 	errs := make(chan error, n)
 	start := time.Now()
@@ -344,7 +360,7 @@ func replayServer(srv *serve.Server, jobs []*trace.Job, n, chunk int) (time.Dura
 		go func() {
 			defer wg.Done()
 			var out []serve.Decision
-			for len(stream) > 0 {
+			for len(stream) > 0 && ctx.Err() == nil {
 				c := chunk
 				if c > len(stream) {
 					c = len(stream)
@@ -370,27 +386,33 @@ func replayServer(srv *serve.Server, jobs []*trace.Job, n, chunk int) (time.Dura
 
 // replayNaive replays the same jobs through the pre-serving approach: a
 // single AdaptiveRanking policy guarded by a mutex, one per-row Predict
-// at a time.
-func replayNaive(model *core.CategoryModel, cm *cost.Model, jobs []*trace.Job, n int) (time.Duration, error) {
+// at a time. Cancelling ctx stops the streams; the returned count is
+// the jobs actually replayed, so rates stay honest on interruption.
+func replayNaive(ctx context.Context, model *core.CategoryModel, cm *cost.Model, jobs []*trace.Job, n int) (int64, time.Duration, error) {
 	p, err := policy.NewAdaptiveRanking(model, cm, core.DefaultAdaptiveConfig(model.NumCategories()))
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	var mu sync.Mutex
 	var wg sync.WaitGroup
+	var replayed atomic.Int64
 	start := time.Now()
 	for w := 0; w < n; w++ {
 		stream := jobs[w*len(jobs)/n : (w+1)*len(jobs)/n]
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for _, j := range stream {
+			for i, j := range stream {
+				if i%64 == 0 && ctx.Err() != nil {
+					return
+				}
 				mu.Lock()
 				p.Place(j, sim.PlaceContext{Now: j.ArrivalSec})
 				mu.Unlock()
+				replayed.Add(1)
 			}
 		}()
 	}
 	wg.Wait()
-	return time.Since(start), nil
+	return replayed.Load(), time.Since(start), nil
 }

@@ -1,13 +1,14 @@
 package main
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
 
 func TestRunQuickServe(t *testing.T) {
 	var buf strings.Builder
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-days", "1", "-users", "4", "-rounds", "3", "-categories", "4",
 		"-shards", "2", "-submitters", "2", "-naive", "-swap-mid",
 	}, &buf)
@@ -15,7 +16,7 @@ func TestRunQuickServe(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := buf.String()
-	for _, want := range []string{"serve throughput:", "batches:", "model version:", "naive throughput:", "speedup:"} {
+	for _, want := range []string{"serve throughput:", "serve_batches", "serve_submitted", "model version:", "naive throughput:", "speedup:"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("output missing %q:\n%s", want, out)
 		}
@@ -24,7 +25,7 @@ func TestRunQuickServe(t *testing.T) {
 
 func TestRunOnlineLoop(t *testing.T) {
 	var buf strings.Builder
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-online", "-days", "2", "-users", "5", "-rounds", "3", "-categories", "5",
 		"-shards", "2", "-retrain-hours", "12", "-window", "2000",
 	}, &buf)
@@ -32,7 +33,7 @@ func TestRunOnlineLoop(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := buf.String()
-	for _, want := range []string{"drift scenario:", "retrain (", "retrains:", "model swaps:", "post-drift TCO:"} {
+	for _, want := range []string{"drift scenario:", "retrain (", "online_retrains", "model swaps:", "post-drift TCO:"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("output missing %q:\n%s", want, out)
 		}
@@ -40,14 +41,44 @@ func TestRunOnlineLoop(t *testing.T) {
 }
 
 func TestRunRejectsBadFlags(t *testing.T) {
+	ctx := context.Background()
 	var buf strings.Builder
-	if err := run([]string{"-shards", "0"}, &buf); err == nil {
+	if err := run(ctx, []string{"-shards", "0"}, &buf); err == nil {
 		t.Fatal("zero shards accepted")
 	}
-	if err := run([]string{"-bogus"}, &buf); err == nil {
+	if err := run(ctx, []string{"-bogus"}, &buf); err == nil {
 		t.Fatal("unknown flag accepted")
 	}
-	if err := run([]string{"-trace", "missing.jsonl"}, &buf); err == nil {
+	if err := run(ctx, []string{"-trace", "missing.jsonl"}, &buf); err == nil {
 		t.Fatal("unreadable trace accepted")
+	}
+}
+
+// TestRunCancelled checks the SIGINT path: a pre-cancelled context
+// stops the replay streams immediately, yet the run still completes
+// and flushes its counters (the drain-then-report contract).
+func TestRunCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var buf strings.Builder
+	err := run(ctx, []string{
+		"-days", "1", "-users", "4", "-rounds", "3", "-categories", "4",
+		"-shards", "2", "-submitters", "2", "-naive",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"interrupted:", "serve_submitted 0"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// The naive comparison must not run after an interrupt: a partial
+	// serve rate against a full naive replay would be meaningless.
+	for _, reject := range []string{"naive throughput:", "speedup:"} {
+		if strings.Contains(out, reject) {
+			t.Fatalf("interrupted run still printed %q:\n%s", reject, out)
+		}
 	}
 }

@@ -33,6 +33,7 @@
 package fleet
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -70,6 +71,12 @@ type Config struct {
 	// mid-replay. Async is forced off: synchronous retrains keep the
 	// replay deterministic.
 	Online *online.Config
+	// Context, when non-nil, cancels the run between cluster shards:
+	// in-flight shards drain (their servers and learners shut down
+	// cleanly) and Run returns the context's error. A cancelled run
+	// returns no report — partial fleets would break the determinism
+	// contract.
+	Context context.Context
 }
 
 // DefaultConfig returns a laptop-scale fleet: n clusters over four
@@ -187,12 +194,22 @@ func RunWithRegistry(cfg Config, reg *registry.Registry) (*Report, error) {
 	if reg == nil {
 		return nil, fmt.Errorf("fleet: nil registry")
 	}
+	ctx := cfg.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	cm := cost.Default()
 	var counters metrics.FleetCounters
 
 	// Phase 1: per-cluster build shards — generate, split, train.
 	envs := make([]*clusterEnv, len(specs))
 	err = runPool(len(specs), cfg.Workers, func(i int) error {
+		// Cancellation lands between shards: a shard that started
+		// finishes (its servers/learners tear down inside), later
+		// shards never start, and the pool drains its workers.
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		env, err := buildEnv(specs[i], cm, cfg.Train)
 		if err != nil {
 			return fmt.Errorf("fleet: cluster %s: %w", specs[i].Gen.Cluster, err)
@@ -209,6 +226,9 @@ func RunWithRegistry(cfg Config, reg *registry.Registry) (*Report, error) {
 	// trained on every cluster's training half (merged in cluster
 	// order, then time-sorted). This is the "don't bother with
 	// per-cluster models" strawman the comparison prices.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	merged := &trace.Trace{Cluster: "fleet-global"}
 	for _, env := range envs {
 		merged.Jobs = append(merged.Jobs, env.train.Jobs...)
@@ -224,6 +244,9 @@ func RunWithRegistry(cfg Config, reg *registry.Registry) (*Report, error) {
 	// Phase 3: per-cluster evaluation shards.
 	results := make([]ClusterResult, len(specs))
 	err = runPool(len(specs), cfg.Workers, func(i int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		res, err := evalCluster(envs[i], cm, cfg, reg, global, donor, &counters)
 		if err != nil {
 			return fmt.Errorf("fleet: cluster %s: %w", envs[i].spec.Gen.Cluster, err)

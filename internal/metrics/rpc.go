@@ -1,0 +1,91 @@
+package metrics
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// RPCCounters holds the placement daemon's per-endpoint request
+// counters: admissions, sheds, request outcomes and handler latency.
+// All fields are updated atomically, so one instance can be shared by
+// every handler goroutine and concurrent snapshot readers (/varz).
+type RPCCounters struct {
+	placeRequests   atomic.Int64
+	placeJobs       atomic.Int64
+	outcomeRequests atomic.Int64
+	modelRequests   atomic.Int64
+	shed            atomic.Int64
+	badRequests     atomic.Int64
+	serverErrors    atomic.Int64
+	latencyNs       atomic.Int64
+	maxLatencyNs    atomic.Int64
+}
+
+// RecordPlace counts one served /v1/place request and the placements it
+// carried, plus its handler latency (admission wait + serve + encode).
+func (c *RPCCounters) RecordPlace(jobs int, latency time.Duration) {
+	c.placeRequests.Add(1)
+	c.placeJobs.Add(int64(jobs))
+	c.recordLatency(latency)
+}
+
+// RecordOutcome counts one served /v1/outcome request.
+func (c *RPCCounters) RecordOutcome(latency time.Duration) {
+	c.outcomeRequests.Add(1)
+	c.recordLatency(latency)
+}
+
+// RecordModelInfo counts one served /v1/model request.
+func (c *RPCCounters) RecordModelInfo() { c.modelRequests.Add(1) }
+
+// RecordShed counts one request rejected by admission control (429).
+func (c *RPCCounters) RecordShed() { c.shed.Add(1) }
+
+// RecordBadRequest counts one malformed request (4xx other than shed).
+func (c *RPCCounters) RecordBadRequest() { c.badRequests.Add(1) }
+
+// RecordServerError counts one request that failed server-side (5xx).
+func (c *RPCCounters) RecordServerError() { c.serverErrors.Add(1) }
+
+func (c *RPCCounters) recordLatency(latency time.Duration) {
+	ns := latency.Nanoseconds()
+	c.latencyNs.Add(ns)
+	for {
+		cur := c.maxLatencyNs.Load()
+		if ns <= cur || c.maxLatencyNs.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// RPCSnapshot is a point-in-time copy of the daemon's counters.
+type RPCSnapshot struct {
+	PlaceRequests   int64
+	PlaceJobs       int64
+	OutcomeRequests int64
+	ModelRequests   int64
+	Shed            int64
+	BadRequests     int64
+	ServerErrors    int64
+	MeanLatency     time.Duration
+	MaxLatency      time.Duration
+}
+
+// Snapshot copies the counters. Concurrent updates may tear between
+// fields; each individual field is consistent.
+func (c *RPCCounters) Snapshot() RPCSnapshot {
+	s := RPCSnapshot{
+		PlaceRequests:   c.placeRequests.Load(),
+		PlaceJobs:       c.placeJobs.Load(),
+		OutcomeRequests: c.outcomeRequests.Load(),
+		ModelRequests:   c.modelRequests.Load(),
+		Shed:            c.shed.Load(),
+		BadRequests:     c.badRequests.Load(),
+		ServerErrors:    c.serverErrors.Load(),
+		MaxLatency:      time.Duration(c.maxLatencyNs.Load()),
+	}
+	if served := s.PlaceRequests + s.OutcomeRequests; served > 0 {
+		s.MeanLatency = time.Duration(c.latencyNs.Load() / served)
+	}
+	return s
+}

@@ -1,0 +1,70 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+)
+
+// Text exposition: every snapshot type renders as sorted-stable
+// `<prefix>_<key> <value>` lines, one metric per line — the shared
+// format behind the daemon's /varz endpoint and the cmd counter dumps.
+// Counts are integers, durations are integer nanoseconds (`_ns` keys)
+// and ratios use two decimals, so the output is deterministic for
+// fixed counter values and safe to pin with golden tests.
+
+// WriteText renders the serving-layer counters.
+func (s ShardSnapshot) WriteText(w io.Writer, prefix string) {
+	writeInt(w, prefix, "submitted", s.Submitted)
+	writeInt(w, prefix, "admitted", s.Admitted)
+	writeInt(w, prefix, "observations", s.Observations)
+	writeInt(w, prefix, "batches", s.Batches)
+	writeInt(w, prefix, "full_flushes", s.FullFlushes)
+	writeInt(w, prefix, "timeout_flushes", s.TimeoutFlushes)
+	writeFloat(w, prefix, "mean_batch_size", s.MeanBatchSize)
+	writeInt(w, prefix, "mean_latency_ns", int64(s.MeanLatency))
+	writeInt(w, prefix, "max_latency_ns", int64(s.MaxLatency))
+}
+
+// WriteText renders the continuous-learning loop counters.
+func (s OnlineSnapshot) WriteText(w io.Writer, prefix string) {
+	writeInt(w, prefix, "observations", s.Observations)
+	writeInt(w, prefix, "evictions", s.Evictions)
+	writeInt(w, prefix, "drift_triggers", s.DriftTriggers)
+	writeInt(w, prefix, "cadence_triggers", s.CadenceTriggers)
+	writeInt(w, prefix, "retrains", s.Retrains)
+	writeInt(w, prefix, "gate_accepts", s.GateAccepts)
+	writeInt(w, prefix, "gate_rejects", s.GateRejects)
+	writeInt(w, prefix, "train_errors", s.TrainErrors)
+	writeInt(w, prefix, "mean_retrain_latency_ns", int64(s.MeanRetrainLatency))
+	writeInt(w, prefix, "max_retrain_latency_ns", int64(s.MaxRetrainLatency))
+}
+
+// WriteText renders the fleet-run counters.
+func (s FleetSnapshot) WriteText(w io.Writer, prefix string) {
+	writeInt(w, prefix, "clusters_done", s.ClustersDone)
+	writeInt(w, prefix, "jobs_simulated", s.JobsSimulated)
+	writeInt(w, prefix, "models_trained", s.ModelsTrained)
+	writeInt(w, prefix, "online_swaps", s.OnlineSwaps)
+	writeInt(w, prefix, "online_retrains", s.OnlineRetrains)
+}
+
+// WriteText renders the placement daemon's request counters.
+func (s RPCSnapshot) WriteText(w io.Writer, prefix string) {
+	writeInt(w, prefix, "place_requests", s.PlaceRequests)
+	writeInt(w, prefix, "place_jobs", s.PlaceJobs)
+	writeInt(w, prefix, "outcome_requests", s.OutcomeRequests)
+	writeInt(w, prefix, "model_requests", s.ModelRequests)
+	writeInt(w, prefix, "shed", s.Shed)
+	writeInt(w, prefix, "bad_requests", s.BadRequests)
+	writeInt(w, prefix, "server_errors", s.ServerErrors)
+	writeInt(w, prefix, "mean_latency_ns", int64(s.MeanLatency))
+	writeInt(w, prefix, "max_latency_ns", int64(s.MaxLatency))
+}
+
+func writeInt(w io.Writer, prefix, key string, v int64) {
+	fmt.Fprintf(w, "%s_%s %d\n", prefix, key, v)
+}
+
+func writeFloat(w io.Writer, prefix, key string, v float64) {
+	fmt.Fprintf(w, "%s_%s %.2f\n", prefix, key, v)
+}

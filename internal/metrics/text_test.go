@@ -1,0 +1,106 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestWriteTextShard pins the serving-layer exposition line for line:
+// /varz and the cmd counter dumps both build on this exact format.
+func TestWriteTextShard(t *testing.T) {
+	s := ShardSnapshot{
+		Submitted:      1000,
+		Admitted:       640,
+		Observations:   12,
+		Batches:        20,
+		FullFlushes:    15,
+		TimeoutFlushes: 5,
+		MeanBatchSize:  50,
+		MeanLatency:    1500 * time.Microsecond,
+		MaxLatency:     9 * time.Millisecond,
+	}
+	var b strings.Builder
+	s.WriteText(&b, "serve")
+	want := strings.Join([]string{
+		"serve_submitted 1000",
+		"serve_admitted 640",
+		"serve_observations 12",
+		"serve_batches 20",
+		"serve_full_flushes 15",
+		"serve_timeout_flushes 5",
+		"serve_mean_batch_size 50.00",
+		"serve_mean_latency_ns 1500000",
+		"serve_max_latency_ns 9000000",
+		"",
+	}, "\n")
+	if b.String() != want {
+		t.Errorf("shard exposition:\ngot:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+// TestWriteTextAllTypes checks every snapshot type emits only
+// well-formed `<prefix>_<key> <value>` lines with its own prefix — the
+// property /varz concatenation depends on (no collisions, no blanks).
+func TestWriteTextAllTypes(t *testing.T) {
+	cases := []struct {
+		prefix string
+		render func(b *strings.Builder)
+		lines  int
+	}{
+		{"serve", func(b *strings.Builder) { ShardSnapshot{}.WriteText(b, "serve") }, 9},
+		{"online", func(b *strings.Builder) { OnlineSnapshot{}.WriteText(b, "online") }, 10},
+		{"fleet", func(b *strings.Builder) { FleetSnapshot{}.WriteText(b, "fleet") }, 5},
+		{"rpc", func(b *strings.Builder) { RPCSnapshot{}.WriteText(b, "rpc") }, 9},
+	}
+	seen := map[string]bool{}
+	for _, tc := range cases {
+		var b strings.Builder
+		tc.render(&b)
+		out := strings.TrimSuffix(b.String(), "\n")
+		lines := strings.Split(out, "\n")
+		if len(lines) != tc.lines {
+			t.Errorf("%s: %d lines, want %d", tc.prefix, len(lines), tc.lines)
+		}
+		for _, line := range lines {
+			fields := strings.Fields(line)
+			if len(fields) != 2 {
+				t.Errorf("%s: malformed line %q", tc.prefix, line)
+				continue
+			}
+			if !strings.HasPrefix(fields[0], tc.prefix+"_") {
+				t.Errorf("%s: key %q missing prefix", tc.prefix, fields[0])
+			}
+			if seen[fields[0]] {
+				t.Errorf("duplicate metric key %q across snapshot types", fields[0])
+			}
+			seen[fields[0]] = true
+		}
+	}
+}
+
+// TestRPCCountersSnapshot exercises the daemon counters end to end.
+func TestRPCCountersSnapshot(t *testing.T) {
+	var c RPCCounters
+	c.RecordPlace(64, 2*time.Millisecond)
+	c.RecordPlace(1, 4*time.Millisecond)
+	c.RecordOutcome(3 * time.Millisecond)
+	c.RecordModelInfo()
+	c.RecordShed()
+	c.RecordShed()
+	c.RecordBadRequest()
+	c.RecordServerError()
+	s := c.Snapshot()
+	if s.PlaceRequests != 2 || s.PlaceJobs != 65 || s.OutcomeRequests != 1 {
+		t.Errorf("request counts: %+v", s)
+	}
+	if s.ModelRequests != 1 || s.Shed != 2 || s.BadRequests != 1 || s.ServerErrors != 1 {
+		t.Errorf("outcome counts: %+v", s)
+	}
+	if s.MeanLatency != 3*time.Millisecond {
+		t.Errorf("mean latency %s, want 3ms", s.MeanLatency)
+	}
+	if s.MaxLatency != 4*time.Millisecond {
+		t.Errorf("max latency %s, want 4ms", s.MaxLatency)
+	}
+}

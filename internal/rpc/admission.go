@@ -1,0 +1,47 @@
+package rpc
+
+import (
+	"context"
+	"time"
+)
+
+// admission is a bounded in-flight semaphore with queue-deadline load
+// shedding: a request either takes a slot immediately, waits up to the
+// queue deadline for one, or is shed (the daemon answers 429). One
+// instance guards each mutating endpoint, so a flood of cheap feedback
+// posts can never starve placement traffic of slots (and vice versa).
+type admission struct {
+	slots    chan struct{}
+	deadline time.Duration
+}
+
+func newAdmission(maxInFlight int, deadline time.Duration) *admission {
+	return &admission{slots: make(chan struct{}, maxInFlight), deadline: deadline}
+}
+
+// acquire takes an in-flight slot, waiting at most the queue deadline.
+// It returns false when the request should be shed: the semaphore is
+// full past the deadline or the caller went away first.
+func (a *admission) acquire(ctx context.Context) bool {
+	select {
+	case a.slots <- struct{}{}:
+		return true
+	default:
+	}
+	if a.deadline <= 0 {
+		return false
+	}
+	t := time.NewTimer(a.deadline)
+	defer t.Stop()
+	select {
+	case a.slots <- struct{}{}:
+		return true
+	case <-t.C:
+		return false
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// release returns a slot taken by acquire.
+func (a *admission) release() { <-a.slots }

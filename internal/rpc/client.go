@@ -1,0 +1,241 @@
+package rpc
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/rpc/wire"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// ClientConfig tunes a placement client.
+type ClientConfig struct {
+	// BaseURL is the daemon's root URL, e.g. "http://10.0.0.7:7070".
+	BaseURL string
+	// RequestTimeout is the per-request deadline, applied per attempt
+	// on top of any caller context (default 2 s).
+	RequestTimeout time.Duration
+	// MaxRetries bounds re-sends after a shed (429) response; other
+	// failures are returned immediately (default 3).
+	MaxRetries int
+	// RetryBackoff is the first retry's sleep; it doubles per retry
+	// (default 2 ms).
+	RetryBackoff time.Duration
+	// Transport overrides the HTTP transport (nil = a shared keep-alive
+	// transport sized for many concurrent connections).
+	Transport http.RoundTripper
+}
+
+// DefaultClientConfig returns client parameters for a daemon at
+// baseURL: 2 s deadlines, 3 shed retries with 2 ms doubling backoff.
+func DefaultClientConfig(baseURL string) ClientConfig {
+	return ClientConfig{
+		BaseURL:        baseURL,
+		RequestTimeout: 2 * time.Second,
+		MaxRetries:     3,
+		RetryBackoff:   2 * time.Millisecond,
+	}
+}
+
+// ClientStats counts a client's request outcomes.
+type ClientStats struct {
+	// Requests counts logical operations (not retry attempts).
+	Requests int64
+	// Sheds counts 429 responses received (each may trigger a retry).
+	Sheds int64
+	// Retries counts re-sent attempts after a shed.
+	Retries int64
+	// Failures counts operations that returned an error to the caller.
+	Failures int64
+}
+
+// Client speaks the wire protocol to one placement daemon, reusing
+// connections across requests. All methods are safe for concurrent
+// use; a single Client is meant to be shared by many goroutines.
+type Client struct {
+	cfg      ClientConfig
+	hc       *http.Client
+	requests atomic.Int64
+	sheds    atomic.Int64
+	retries  atomic.Int64
+	failures atomic.Int64
+}
+
+// NewClient builds a client for the daemon at cfg.BaseURL.
+func NewClient(cfg ClientConfig) (*Client, error) {
+	if cfg.BaseURL == "" {
+		return nil, fmt.Errorf("rpc: client needs a BaseURL")
+	}
+	if !strings.HasPrefix(cfg.BaseURL, "http://") && !strings.HasPrefix(cfg.BaseURL, "https://") {
+		return nil, fmt.Errorf("rpc: BaseURL %q must start with http:// or https://", cfg.BaseURL)
+	}
+	cfg.BaseURL = strings.TrimRight(cfg.BaseURL, "/")
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 2 * time.Second
+	}
+	if cfg.MaxRetries < 0 {
+		return nil, fmt.Errorf("rpc: MaxRetries must be >= 0, got %d", cfg.MaxRetries)
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 2 * time.Millisecond
+	}
+	rt := cfg.Transport
+	if rt == nil {
+		// The stdlib default of 2 idle conns per host forces reconnects
+		// under any real concurrency; size for loadgen-scale fan-in.
+		rt = &http.Transport{
+			MaxIdleConns:        256,
+			MaxIdleConnsPerHost: 256,
+			IdleConnTimeout:     90 * time.Second,
+		}
+	}
+	return &Client{cfg: cfg, hc: &http.Client{Transport: rt}}, nil
+}
+
+// Place requests decisions for a batch of jobs, in order.
+func (c *Client) Place(ctx context.Context, jobs []*trace.Job) ([]wire.Decision, error) {
+	var resp wire.PlaceResponse
+	err := c.do(ctx, http.MethodPost, wire.PathPlace, wire.PlaceRequest{Jobs: jobs}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.Decisions) != len(jobs) {
+		c.failures.Add(1)
+		return nil, fmt.Errorf("rpc: got %d decisions for %d jobs", len(resp.Decisions), len(jobs))
+	}
+	return resp.Decisions, nil
+}
+
+// PlaceOne requests a decision for a single job.
+func (c *Client) PlaceOne(ctx context.Context, j *trace.Job) (wire.Decision, error) {
+	ds, err := c.Place(ctx, []*trace.Job{j})
+	if err != nil {
+		return wire.Decision{}, err
+	}
+	return ds[0], nil
+}
+
+// Observe reports a placement outcome back to the daemon. category is
+// the Decision.Category the placement acted on.
+func (c *Client) Observe(ctx context.Context, j *trace.Job, category int, o sim.Outcome) error {
+	req := wire.OutcomeRequest{
+		Job:      j,
+		Category: category,
+		Outcome: wire.Outcome{
+			WantedSSD: o.WantedSSD,
+			FracOnSSD: o.FracOnSSD,
+			SpilledAt: o.SpilledAt,
+			EvictedAt: o.EvictedAt,
+		},
+	}
+	return c.do(ctx, http.MethodPost, wire.PathOutcome, req, nil)
+}
+
+// ModelInfo fetches the daemon's active-model metadata.
+func (c *Client) ModelInfo(ctx context.Context) (wire.ModelInfo, error) {
+	var info wire.ModelInfo
+	err := c.do(ctx, http.MethodGet, wire.PathModel, nil, &info)
+	return info, err
+}
+
+// Stats returns the client's operation counters.
+func (c *Client) Stats() ClientStats {
+	return ClientStats{
+		Requests: c.requests.Load(),
+		Sheds:    c.sheds.Load(),
+		Retries:  c.retries.Load(),
+		Failures: c.failures.Load(),
+	}
+}
+
+// Close releases idle connections. The client may not be used after.
+func (c *Client) Close() { c.hc.CloseIdleConnections() }
+
+// do runs one logical operation: marshal once, send with a per-attempt
+// deadline, retry shed responses up to MaxRetries with doubling
+// backoff, decode the final response.
+func (c *Client) do(ctx context.Context, method, path string, body, into any) error {
+	c.requests.Add(1)
+	var payload []byte
+	if body != nil {
+		var err error
+		if payload, err = json.Marshal(body); err != nil {
+			c.failures.Add(1)
+			return fmt.Errorf("rpc: encoding request: %w", err)
+		}
+	}
+	backoff := c.cfg.RetryBackoff
+	for attempt := 0; ; attempt++ {
+		status, err := c.attempt(ctx, method, path, payload, into)
+		switch {
+		case err == nil:
+			return nil
+		case status != http.StatusTooManyRequests:
+			c.failures.Add(1)
+			return err
+		}
+		c.sheds.Add(1)
+		if attempt >= c.cfg.MaxRetries {
+			c.failures.Add(1)
+			return fmt.Errorf("rpc: %s %s still shed after %d retries: %w", method, path, attempt, err)
+		}
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			c.failures.Add(1)
+			return ctx.Err()
+		}
+		if backoff < time.Second {
+			backoff *= 2
+		}
+		c.retries.Add(1)
+	}
+}
+
+// attempt sends one HTTP request and decodes its response. It returns
+// the HTTP status (0 on transport errors) alongside any error.
+func (c *Client) attempt(ctx context.Context, method, path string, payload []byte, into any) (int, error) {
+	actx, cancel := context.WithTimeout(ctx, c.cfg.RequestTimeout)
+	defer cancel()
+	var rd io.Reader
+	if payload != nil {
+		rd = bytes.NewReader(payload)
+	}
+	req, err := http.NewRequestWithContext(actx, method, c.cfg.BaseURL+path, rd)
+	if err != nil {
+		return 0, fmt.Errorf("rpc: %w", err)
+	}
+	if payload != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return 0, fmt.Errorf("rpc: %w", err)
+	}
+	defer func() {
+		// Drain so the connection is reusable even on error bodies.
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+	}()
+	if resp.StatusCode/100 != 2 {
+		var e wire.ErrorResponse
+		if derr := json.NewDecoder(resp.Body).Decode(&e); derr == nil && e.Error != "" {
+			return resp.StatusCode, fmt.Errorf("rpc: %s %s: %s (%d)", method, path, e.Error, resp.StatusCode)
+		}
+		return resp.StatusCode, fmt.Errorf("rpc: %s %s: status %d", method, path, resp.StatusCode)
+	}
+	if into != nil {
+		if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+			return resp.StatusCode, fmt.Errorf("rpc: decoding response: %w", err)
+		}
+	}
+	return resp.StatusCode, nil
+}

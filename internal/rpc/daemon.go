@@ -1,0 +1,377 @@
+// Package rpc is the network-facing placement service: a JSON-over-HTTP
+// daemon and client stack layered on the internal/serve batching core.
+// It is the layer where the BYOM split becomes operational — the model
+// lives behind a wire protocol (internal/rpc/wire), so heterogeneous
+// clients across a fleet consume placements without linking the model,
+// and model rollout stays a registry publish away from every daemon.
+//
+// The daemon adds what in-process serving does not need:
+//
+//   - Admission control: each mutating endpoint holds a bounded
+//     in-flight semaphore with queue-deadline shedding (429), so
+//     overload degrades into fast, explicit rejections instead of
+//     unbounded queueing.
+//   - Graceful drain: Shutdown stops the listener, lets in-flight
+//     handlers finish, then stops the shard workers — no decision is
+//     dropped mid-request.
+//   - An ops plane: /healthz for liveness (503 while draining) and
+//     /varz for the shared text exposition of the daemon's and serving
+//     core's counters.
+//
+// Model hot-swap is inherited from serve.Server: a registry publish
+// swaps the compiled model atomically under live network load.
+package rpc
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cost"
+	"repro/internal/metrics"
+	"repro/internal/online"
+	"repro/internal/registry"
+	"repro/internal/rpc/wire"
+	"repro/internal/serve"
+	"repro/internal/sim"
+)
+
+// Config tunes the placement daemon.
+type Config struct {
+	// Serve configures the underlying batching core (shards, batch
+	// size, flush interval, controller).
+	Serve serve.Config
+	// MaxInFlightPlace bounds concurrent /v1/place requests; further
+	// requests queue up to QueueDeadline, then shed with 429.
+	MaxInFlightPlace int
+	// MaxInFlightOutcome bounds concurrent /v1/outcome requests.
+	MaxInFlightOutcome int
+	// QueueDeadline is how long an over-limit request may wait for an
+	// in-flight slot before being shed (0 sheds immediately).
+	QueueDeadline time.Duration
+	// MaxBatch caps jobs per place request (0 = no cap).
+	MaxBatch int
+	// MaxBodyBytes caps request body size (defaults to 8 MiB).
+	MaxBodyBytes int64
+	// Learner, when non-nil, also receives every /v1/outcome through
+	// Observe, closing the online-learning loop over the network. The
+	// daemon does not manage the learner's lifecycle; /varz gains its
+	// online_* counters.
+	Learner *online.Learner
+}
+
+// DefaultConfig returns daemon parameters for an N-category model:
+// the serve defaults plus 64 in-flight placement requests, 256
+// in-flight feedback posts and a 5 ms queue deadline.
+func DefaultConfig(numCategories int) Config {
+	return Config{
+		Serve:              serve.DefaultConfig(numCategories),
+		MaxInFlightPlace:   64,
+		MaxInFlightOutcome: 256,
+		QueueDeadline:      5 * time.Millisecond,
+		MaxBatch:           4096,
+		MaxBodyBytes:       8 << 20,
+	}
+}
+
+func (c *Config) validate() error {
+	switch {
+	case c.MaxInFlightPlace < 1:
+		return fmt.Errorf("rpc: MaxInFlightPlace must be >= 1, got %d", c.MaxInFlightPlace)
+	case c.MaxInFlightOutcome < 1:
+		return fmt.Errorf("rpc: MaxInFlightOutcome must be >= 1, got %d", c.MaxInFlightOutcome)
+	case c.QueueDeadline < 0:
+		return fmt.Errorf("rpc: QueueDeadline must be >= 0, got %s", c.QueueDeadline)
+	case c.MaxBatch < 0:
+		return fmt.Errorf("rpc: MaxBatch must be >= 0, got %d", c.MaxBatch)
+	}
+	return nil
+}
+
+// Daemon is the placement service: an HTTP front-end over a
+// serve.Server. Create with NewDaemon, start with Start (or mount
+// Handler yourself), stop with Shutdown. All methods are safe for
+// concurrent use.
+type Daemon struct {
+	cfg      Config
+	workload string
+	srv      *serve.Server
+	counters metrics.RPCCounters
+	place    *admission
+	outcome  *admission
+	draining atomic.Bool
+
+	http     *http.Server
+	listener net.Listener
+	served   chan struct{} // closed when the accept loop exits
+	serveErr error
+}
+
+// NewDaemon builds a daemon serving the workload's active model from
+// reg. The underlying serve.Server subscribes to the registry, so
+// publishes and rollbacks hot-swap the model mid-traffic.
+func NewDaemon(reg *registry.Registry, workload string, cm *cost.Model, cfg Config) (*Daemon, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.MaxBodyBytes == 0 {
+		cfg.MaxBodyBytes = 8 << 20
+	}
+	srv, err := serve.New(reg, workload, cm, cfg.Serve)
+	if err != nil {
+		return nil, err
+	}
+	d := &Daemon{
+		cfg:      cfg,
+		workload: workload,
+		srv:      srv,
+		place:    newAdmission(cfg.MaxInFlightPlace, cfg.QueueDeadline),
+		outcome:  newAdmission(cfg.MaxInFlightOutcome, cfg.QueueDeadline),
+		served:   make(chan struct{}),
+	}
+	d.http = &http.Server{Handler: d.Handler()}
+	return d, nil
+}
+
+// Handler returns the daemon's HTTP handler (the full endpoint set),
+// for mounting under a custom server or driving in-process in tests.
+func (d *Daemon) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(wire.PathPlace, d.handlePlace)
+	mux.HandleFunc(wire.PathOutcome, d.handleOutcome)
+	mux.HandleFunc(wire.PathModel, d.handleModel)
+	mux.HandleFunc(wire.PathHealth, d.handleHealth)
+	mux.HandleFunc(wire.PathVarz, d.handleVarz)
+	return mux
+}
+
+// Start listens on addr (":0" picks a free port; see Addr) and serves
+// in a background goroutine until Shutdown.
+func (d *Daemon) Start(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("rpc: %w", err)
+	}
+	d.listener = l
+	go func() {
+		defer close(d.served)
+		if err := d.http.Serve(l); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			d.serveErr = err
+		}
+	}()
+	return nil
+}
+
+// Addr returns the bound listen address (valid after Start).
+func (d *Daemon) Addr() string {
+	if d.listener == nil {
+		return ""
+	}
+	return d.listener.Addr().String()
+}
+
+// BaseURL returns the http:// URL clients should dial (after Start).
+func (d *Daemon) BaseURL() string { return "http://" + d.Addr() }
+
+// Shutdown drains the daemon: /healthz flips to draining, the listener
+// closes, in-flight handlers run to completion (bounded by ctx), and
+// the shard workers stop. The daemon cannot be reused.
+func (d *Daemon) Shutdown(ctx context.Context) error {
+	d.draining.Store(true)
+	var first error
+	if d.listener != nil {
+		// http.Server.Shutdown closes the listener and waits for
+		// handlers — every accepted request gets its response before
+		// the serving core goes away below.
+		if err := d.http.Shutdown(ctx); err != nil && first == nil {
+			first = err
+		}
+		<-d.served
+		if d.serveErr != nil && first == nil {
+			first = d.serveErr
+		}
+	}
+	if err := d.srv.Close(); err != nil && first == nil {
+		first = err
+	}
+	return first
+}
+
+// Stats returns the daemon's request-counter snapshot.
+func (d *Daemon) Stats() metrics.RPCSnapshot { return d.counters.Snapshot() }
+
+// ServeStats returns the underlying serving core's merged counters.
+func (d *Daemon) ServeStats() metrics.ShardSnapshot { return d.srv.Stats() }
+
+// ModelVersion returns the currently serving registry version number.
+func (d *Daemon) ModelVersion() int { return d.srv.ModelVersion() }
+
+// modelInfo assembles the /v1/model payload.
+func (d *Daemon) modelInfo() wire.ModelInfo {
+	return wire.ModelInfo{
+		Workload:      d.workload,
+		ModelVersion:  d.srv.ModelVersion(),
+		NumCategories: d.cfg.Serve.Adaptive.NumCategories,
+		Shards:        d.cfg.Serve.Shards,
+		Swaps:         d.srv.Swaps(),
+	}
+}
+
+// handlePlace serves POST /v1/place: single and batch placement.
+func (d *Daemon) handlePlace(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	if r.Method != http.MethodPost {
+		d.methodNotAllowed(w)
+		return
+	}
+	if !d.place.acquire(r.Context()) {
+		d.shed(w)
+		return
+	}
+	defer d.place.release()
+	var req wire.PlaceRequest
+	if !d.decode(w, r, &req) {
+		return
+	}
+	if err := req.Validate(d.cfg.MaxBatch); err != nil {
+		d.badRequest(w, err)
+		return
+	}
+	decisions, err := d.srv.SubmitBatch(req.Jobs, nil)
+	if err != nil {
+		d.serverError(w, err)
+		return
+	}
+	resp := wire.PlaceResponse{Decisions: make([]wire.Decision, len(decisions))}
+	for i, dec := range decisions {
+		resp.Decisions[i] = wire.Decision{
+			JobID:        req.Jobs[i].ID,
+			Admit:        dec.Admit,
+			Category:     dec.Category,
+			ModelVersion: dec.ModelVersion,
+			Shard:        dec.Shard,
+		}
+	}
+	// Count before the response bytes go out: a client that reads its
+	// response and immediately scrapes /varz must see itself counted.
+	d.counters.RecordPlace(len(req.Jobs), time.Since(start))
+	d.writeJSON(w, http.StatusOK, resp)
+}
+
+// handleOutcome serves POST /v1/outcome: spillover feedback routed to
+// the job's admission shard (and the attached learner, if any).
+func (d *Daemon) handleOutcome(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	if r.Method != http.MethodPost {
+		d.methodNotAllowed(w)
+		return
+	}
+	if !d.outcome.acquire(r.Context()) {
+		d.shed(w)
+		return
+	}
+	defer d.outcome.release()
+	var req wire.OutcomeRequest
+	if !d.decode(w, r, &req) {
+		return
+	}
+	if err := req.Validate(); err != nil {
+		d.badRequest(w, err)
+		return
+	}
+	o := sim.Outcome{
+		WantedSSD: req.Outcome.WantedSSD,
+		FracOnSSD: req.Outcome.FracOnSSD,
+		SpilledAt: req.Outcome.SpilledAt,
+		EvictedAt: req.Outcome.EvictedAt,
+	}
+	if err := d.srv.Observe(req.Job, o); err != nil {
+		d.serverError(w, err)
+		return
+	}
+	if d.cfg.Learner != nil {
+		d.cfg.Learner.Observe(req.Job, req.Category, o)
+	}
+	d.counters.RecordOutcome(time.Since(start))
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleModel serves GET /v1/model: active-model metadata.
+func (d *Daemon) handleModel(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		d.methodNotAllowed(w)
+		return
+	}
+	d.counters.RecordModelInfo()
+	d.writeJSON(w, http.StatusOK, d.modelInfo())
+}
+
+// handleHealth serves GET /healthz: 200 while serving, 503 once
+// draining so load balancers stop routing before the listener closes.
+func (d *Daemon) handleHealth(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if d.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+// handleVarz serves GET /varz: the shared text exposition of the
+// daemon's and serving core's counters.
+func (d *Daemon) handleVarz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	var onl *metrics.OnlineSnapshot
+	if d.cfg.Learner != nil {
+		s := d.cfg.Learner.Stats()
+		onl = &s
+	}
+	writeVarz(w, d.modelInfo(), d.counters.Snapshot(), d.srv.Stats(), onl)
+}
+
+// decode reads and unmarshals a JSON request body, answering 400 and
+// counting a bad request on failure.
+func (d *Daemon) decode(w http.ResponseWriter, r *http.Request, into any) bool {
+	body := http.MaxBytesReader(w, r.Body, d.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(into); err != nil {
+		d.badRequest(w, fmt.Errorf("decoding request: %w", err))
+		return false
+	}
+	return true
+}
+
+func (d *Daemon) shed(w http.ResponseWriter) {
+	d.counters.RecordShed()
+	// Guidance for stock HTTP clients; rpc.Client uses its own finer
+	// backoff. Retry-After takes whole seconds, so 1 is the minimum
+	// honest value.
+	w.Header().Set("Retry-After", "1")
+	d.writeJSON(w, http.StatusTooManyRequests, wire.ErrorResponse{Error: "overloaded: in-flight limit reached past queue deadline"})
+}
+
+func (d *Daemon) badRequest(w http.ResponseWriter, err error) {
+	d.counters.RecordBadRequest()
+	d.writeJSON(w, http.StatusBadRequest, wire.ErrorResponse{Error: err.Error()})
+}
+
+func (d *Daemon) serverError(w http.ResponseWriter, err error) {
+	d.counters.RecordServerError()
+	d.writeJSON(w, http.StatusServiceUnavailable, wire.ErrorResponse{Error: err.Error()})
+}
+
+func (d *Daemon) methodNotAllowed(w http.ResponseWriter) {
+	d.counters.RecordBadRequest()
+	d.writeJSON(w, http.StatusMethodNotAllowed, wire.ErrorResponse{Error: "method not allowed"})
+}
+
+func (d *Daemon) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,27 @@
+package rpc
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/metrics"
+	"repro/internal/rpc/wire"
+)
+
+// writeVarz renders the daemon's ops page: model identity lines, then
+// the shared text expositions of the request counters and the serving
+// core, then (when a learner is attached) the online-loop counters.
+// The output is deterministic for fixed snapshot values — the golden
+// test pins it, so operators' scrapers can rely on the keys.
+func writeVarz(w io.Writer, info wire.ModelInfo, rpc metrics.RPCSnapshot, srv metrics.ShardSnapshot, onl *metrics.OnlineSnapshot) {
+	fmt.Fprintf(w, "placementd_workload %s\n", info.Workload)
+	fmt.Fprintf(w, "placementd_model_version %d\n", info.ModelVersion)
+	fmt.Fprintf(w, "placementd_num_categories %d\n", info.NumCategories)
+	fmt.Fprintf(w, "placementd_shards %d\n", info.Shards)
+	fmt.Fprintf(w, "placementd_swaps %d\n", info.Swaps)
+	rpc.WriteText(w, "rpc")
+	srv.WriteText(w, "serve")
+	if onl != nil {
+		onl.WriteText(w, "online")
+	}
+}

@@ -1,0 +1,70 @@
+package rpc
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/rpc/wire"
+	"repro/internal/testutil"
+)
+
+// TestVarzGolden pins the /varz text exposition byte for byte with
+// fixed snapshot values: the keys and formats are an operational
+// contract scrapers depend on. Regenerate with -update.
+func TestVarzGolden(t *testing.T) {
+	info := wire.ModelInfo{
+		Workload:      "analytics/shuffle",
+		ModelVersion:  7,
+		NumCategories: 15,
+		Shards:        8,
+		Swaps:         6,
+	}
+	rpcSnap := metrics.RPCSnapshot{
+		PlaceRequests:   12000,
+		PlaceJobs:       768000,
+		OutcomeRequests: 512000,
+		ModelRequests:   42,
+		Shed:            1310,
+		BadRequests:     7,
+		ServerErrors:    1,
+		MeanLatency:     1473 * time.Microsecond,
+		MaxLatency:      22 * time.Millisecond,
+	}
+	srvSnap := metrics.ShardSnapshot{
+		Submitted:      768000,
+		Admitted:       505344,
+		Observations:   512000,
+		Batches:        13776,
+		FullFlushes:    11900,
+		TimeoutFlushes: 1876,
+		MeanBatchSize:  55.75,
+		MeanLatency:    912 * time.Microsecond,
+		MaxLatency:     18 * time.Millisecond,
+	}
+	onlSnap := metrics.OnlineSnapshot{
+		Observations:       512000,
+		Evictions:          503808,
+		DriftTriggers:      2,
+		CadenceTriggers:    11,
+		Retrains:           13,
+		GateAccepts:        6,
+		GateRejects:        7,
+		TrainErrors:        0,
+		MeanRetrainLatency: 840 * time.Millisecond,
+		MaxRetrainLatency:  1900 * time.Millisecond,
+	}
+
+	var b bytes.Buffer
+	writeVarz(&b, info, rpcSnap, srvSnap, &onlSnap)
+	testutil.Golden(t, "testdata/varz.golden", b.Bytes())
+
+	// Without a learner the online block is absent but everything
+	// above it is byte-identical.
+	var noLearner bytes.Buffer
+	writeVarz(&noLearner, info, rpcSnap, srvSnap, nil)
+	if !bytes.HasPrefix(b.Bytes(), noLearner.Bytes()) {
+		t.Error("learner-less varz is not a prefix of the full exposition")
+	}
+}

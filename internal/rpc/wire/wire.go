@@ -1,0 +1,138 @@
+// Package wire defines the versioned JSON-over-HTTP protocol between
+// placement clients and the placement daemon (internal/rpc). The
+// request unit is the trace.Job — the same JSON shape the trace files
+// use — so any producer of trace JSONL can speak the protocol directly.
+//
+// Endpoints (all under the /v1 prefix; see PathPlace etc.):
+//
+//	POST /v1/place    PlaceRequest  -> PlaceResponse   (single or batch)
+//	POST /v1/outcome  OutcomeRequest -> 204 No Content  (feedback)
+//	GET  /v1/model    -> ModelInfo                      (active version)
+//
+// Errors are returned as an ErrorResponse body with a matching HTTP
+// status; admission-control sheds use 429 with a Retry-After header.
+// The types here are the compatibility surface: fields are only ever
+// added, never renamed or repurposed, within a protocol version.
+package wire
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// Version is the protocol version the paths below implement.
+const Version = "v1"
+
+// Endpoint paths.
+const (
+	PathPlace   = "/v1/place"
+	PathOutcome = "/v1/outcome"
+	PathModel   = "/v1/model"
+	PathHealth  = "/healthz"
+	PathVarz    = "/varz"
+)
+
+// PlaceRequest asks for placement decisions for one or more jobs.
+// Decisions are returned in request order.
+type PlaceRequest struct {
+	Jobs []*trace.Job `json:"jobs"`
+}
+
+// Validate rejects requests the daemon must not route to a shard:
+// empty batches and jobs that fail trace validation (the same checks
+// the trace loader applies).
+func (r *PlaceRequest) Validate(maxBatch int) error {
+	if len(r.Jobs) == 0 {
+		return fmt.Errorf("wire: place request has no jobs")
+	}
+	if maxBatch > 0 && len(r.Jobs) > maxBatch {
+		return fmt.Errorf("wire: place request has %d jobs, limit is %d", len(r.Jobs), maxBatch)
+	}
+	for i, j := range r.Jobs {
+		if j == nil {
+			return fmt.Errorf("wire: job %d is null", i)
+		}
+		if err := j.Validate(); err != nil {
+			return fmt.Errorf("wire: job %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Decision is one served placement verdict, mirroring serve.Decision
+// with the job ID echoed so batch responses are self-describing.
+type Decision struct {
+	// JobID echoes the request job's ID.
+	JobID string `json:"job_id"`
+	// Admit is true when the job should be placed on SSD.
+	Admit bool `json:"admit"`
+	// Category is the model's predicted importance category.
+	Category int `json:"category"`
+	// ModelVersion is the registry version that produced Category.
+	ModelVersion int `json:"model_version"`
+	// Shard is the admission shard that served the decision.
+	Shard int `json:"shard"`
+}
+
+// PlaceResponse carries the decisions for a PlaceRequest, in request
+// order (Decisions[i] answers Jobs[i]).
+type PlaceResponse struct {
+	Decisions []Decision `json:"decisions"`
+}
+
+// Outcome reports how a placement played out — the spillover feedback
+// Algorithm 1 regulates on (mirrors sim.Outcome with stable JSON tags).
+type Outcome struct {
+	// WantedSSD is the decision the client acted on.
+	WantedSSD bool `json:"wanted_ssd"`
+	// FracOnSSD is the byte fraction that stayed on SSD.
+	FracOnSSD float64 `json:"frac_on_ssd"`
+	// SpilledAt is the absolute time spillover began, or -1.
+	SpilledAt float64 `json:"spilled_at"`
+	// EvictedAt is the absolute eviction time, or -1.
+	EvictedAt float64 `json:"evicted_at"`
+}
+
+// OutcomeRequest feeds one job's outcome back to its admission shard.
+// Category echoes the Decision.Category the client acted on, so a
+// learner attached to the daemon can attribute the outcome to the
+// model's prediction.
+type OutcomeRequest struct {
+	Job      *trace.Job `json:"job"`
+	Category int        `json:"category"`
+	Outcome  Outcome    `json:"outcome"`
+}
+
+// Validate rejects feedback the shard controllers cannot attribute.
+func (r *OutcomeRequest) Validate() error {
+	if r.Job == nil {
+		return fmt.Errorf("wire: outcome request has no job")
+	}
+	if err := r.Job.Validate(); err != nil {
+		return fmt.Errorf("wire: outcome job: %w", err)
+	}
+	if r.Outcome.FracOnSSD < 0 || r.Outcome.FracOnSSD > 1 {
+		return fmt.Errorf("wire: outcome frac_on_ssd %g outside [0,1]", r.Outcome.FracOnSSD)
+	}
+	return nil
+}
+
+// ModelInfo describes the daemon's active model and serving shape.
+type ModelInfo struct {
+	// Workload is the registry namespace the daemon resolves.
+	Workload string `json:"workload"`
+	// ModelVersion is the active registry version number.
+	ModelVersion int `json:"model_version"`
+	// NumCategories is the model's importance-category count.
+	NumCategories int `json:"num_categories"`
+	// Shards is the daemon's admission-shard count.
+	Shards int `json:"shards"`
+	// Swaps counts hot-swaps applied since the daemon started.
+	Swaps int64 `json:"swaps"`
+}
+
+// ErrorResponse is the JSON body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
