@@ -1,0 +1,82 @@
+// Package golden is the dependency-free core of the repository's
+// golden-file machinery: byte-exact comparison, rewrite, and a small
+// line diff. It deliberately does not import testing, so both the
+// golden tests (via internal/testutil, which adds the shared -update
+// flag) and production tooling — the cmd/scenario runner diffing
+// scenarios/<name>/report.golden — share one implementation and one
+// set of semantics.
+//
+// Golden content must be deterministic: fixed ordering, fixed float
+// precision, no wall-clock values.
+package golden
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Write (re)writes the golden file at path, creating parent
+// directories as needed.
+func Write(path string, got []byte) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(path, got, 0o644)
+}
+
+// Compare compares got against the golden file at path and returns a
+// descriptive error (including a line diff) on mismatch, or when the
+// golden file is missing.
+func Compare(path string, got []byte) error {
+	want, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("golden: %v (run with -update to create it)", err)
+	}
+	if bytes.Equal(want, got) {
+		return nil
+	}
+	return fmt.Errorf("golden: output differs from %s (re-run with -update if the change is intended)\n%s",
+		path, Diff(want, got))
+}
+
+// Diff renders a line-oriented first-divergence report: full diffs
+// need no dependency for the small reports golden tests pin.
+func Diff(want, got []byte) string {
+	wl := bytes.Split(want, []byte("\n"))
+	gl := bytes.Split(got, []byte("\n"))
+	var out bytes.Buffer
+	n := len(wl)
+	if len(gl) > n {
+		n = len(gl)
+	}
+	for i := 0; i < n; i++ {
+		var w, g []byte
+		if i < len(wl) {
+			w = wl[i]
+		}
+		if i < len(gl) {
+			g = gl[i]
+		}
+		if bytes.Equal(w, g) {
+			continue
+		}
+		fmt.Fprintf(&out, "line %d:\n  want: %s\n  got:  %s\n", i+1, clip(w), clip(g))
+		if out.Len() > 2000 {
+			fmt.Fprintln(&out, "  ... (truncated)")
+			break
+		}
+	}
+	return out.String()
+}
+
+// clip bounds one diff line so a single huge line cannot flood the
+// error message.
+func clip(b []byte) []byte {
+	const max = 200
+	if len(b) <= max {
+		return b
+	}
+	return append(append([]byte{}, b[:max]...), "..."...)
+}

@@ -1,0 +1,58 @@
+package golden
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteCompareDiff(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "nested", "out.golden")
+
+	// Compare against a missing golden points at -update.
+	if err := Compare(path, []byte("a\n")); err == nil ||
+		!strings.Contains(err.Error(), "-update") {
+		t.Fatalf("missing golden: %v", err)
+	}
+
+	// Write creates parent directories.
+	if err := Write(path, []byte("a\nb\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := Compare(path, []byte("a\nb\n")); err != nil {
+		t.Fatalf("clean compare: %v", err)
+	}
+
+	// A mismatch names the first diverging line in the error.
+	err := Compare(path, []byte("a\nc\n"))
+	if err == nil || !strings.Contains(err.Error(), "c") {
+		t.Fatalf("mismatch: %v", err)
+	}
+
+	// Unreadable path surfaces the underlying error.
+	if err := os.Chmod(filepath.Dir(path), 0o000); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chmod(filepath.Dir(path), 0o755)
+	if os.Getuid() != 0 { // root ignores modes; skip the bit under root
+		if err := Compare(path, []byte("a\n")); err == nil {
+			t.Fatal("unreadable golden accepted")
+		}
+	}
+}
+
+func TestDiffTruncates(t *testing.T) {
+	want := []byte(strings.Repeat("same\n", 10) + strings.Repeat("x", 5000) + "\n")
+	got := []byte(strings.Repeat("same\n", 10) + strings.Repeat("y", 5000) + "\n")
+	d := Diff(want, got)
+	if d == "" {
+		t.Fatal("no diff for differing inputs")
+	}
+	if len(d) > 6000 {
+		t.Fatalf("diff not truncated: %d bytes", len(d))
+	}
+	if Diff(want, want) != "" {
+		t.Fatal("diff for identical inputs")
+	}
+}

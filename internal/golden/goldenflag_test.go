@@ -1,0 +1,8 @@
+package golden_test
+
+// Linking testutil registers the shared -update flag in every test binary,
+// so `go test ./... -update` regenerates golden files across the whole repo
+// without individual packages failing on an unknown flag. This lives in the
+// external test package: testutil imports golden, so the internal test
+// package cannot import testutil back.
+import _ "repro/internal/testutil"

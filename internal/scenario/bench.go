@@ -1,0 +1,74 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+)
+
+// BenchHistory is the append-only suite measurement archive
+// (BENCH_scenarios.json at the repo root): one BenchRun per suite
+// invocation that asked for history, so perf PRs can diff a
+// scenario's throughput and savings against every prior recording.
+type BenchHistory struct {
+	Benchmark string     `json:"benchmark"`
+	Runs      []BenchRun `json:"runs"`
+}
+
+// BenchRun is one suite invocation's record.
+type BenchRun struct {
+	// Date is the invocation time, RFC 3339.
+	Date string `json:"date"`
+	// Go identifies the toolchain and platform.
+	Go string `json:"go"`
+	// Scenarios carries each executed scenario's verdict and stats in
+	// suite order.
+	Scenarios []BenchScenario `json:"scenarios"`
+}
+
+// BenchScenario is one scenario's history entry.
+type BenchScenario struct {
+	Name   string `json:"name"`
+	Status string `json:"status"`
+	Stats  Stats  `json:"stats"`
+}
+
+// AppendHistory appends one run built from outcomes to the history at
+// path, creating the file on first use. Scenarios that failed before
+// producing a result are recorded with zero stats — a disappearing
+// scenario should be visible in the history, not absent from it.
+func AppendHistory(path string, when time.Time, outcomes []*Outcome) error {
+	hist := BenchHistory{
+		Benchmark: "scenario suite: declarative workloads with golden reports and threshold gates",
+	}
+	data, err := os.ReadFile(path)
+	switch {
+	case err == nil:
+		if err := json.Unmarshal(data, &hist); err != nil {
+			return fmt.Errorf("scenario: parsing bench history %s: %w", path, err)
+		}
+	case os.IsNotExist(err):
+		// First run creates the file.
+	default:
+		return fmt.Errorf("scenario: reading bench history: %w", err)
+	}
+	run := BenchRun{
+		Date: when.UTC().Format(time.RFC3339),
+		Go:   fmt.Sprintf("%s %s/%s", runtime.Version(), runtime.GOOS, runtime.GOARCH),
+	}
+	for _, o := range outcomes {
+		bs := BenchScenario{Name: o.Pkg.Name, Status: o.Status()}
+		if o.Result != nil {
+			bs.Stats = o.Result.Stats
+		}
+		run.Scenarios = append(run.Scenarios, bs)
+	}
+	hist.Runs = append(hist.Runs, run)
+	out, err := json.MarshalIndent(&hist, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}

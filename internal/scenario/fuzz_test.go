@@ -1,0 +1,53 @@
+package scenario
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// FuzzScenarioSpec fuzzes the spec parser with two properties:
+// malformed input errors but never panics, and a spec that parses
+// marshals back to JSON that re-parses to a deeply equal spec (defaults
+// apply at run time, so parsing is a pure, stable decode).
+func FuzzScenarioSpec(f *testing.F) {
+	// Seed with the real corpus so mutations start from live shapes.
+	if pkgs, err := Discover(repoScenarios); err == nil {
+		for _, p := range pkgs {
+			if data, err := os.ReadFile(filepath.Join(p.Dir, SpecFile)); err == nil {
+				f.Add(data)
+			}
+		}
+	}
+	for _, s := range []string{
+		validSpecJSON,
+		`{}`,
+		`not json at all`,
+		`{"name": "x", "pipeline": "sim"}`,
+		`{"name": "f", "pipeline": "fleet", "fleet": {"clusters": 2, "seed": 1, "days": 1}}`,
+		`{"name": "t", "pipeline": "sim", "trace": {"segments": [{"seed": 1, "users": 1, "days": 0.1}]}} trailing`,
+		`{"name": "t", "pipeline": "sim", "trace": {"segments": [{"seed": 1, "users": 1, "days": 1e308}]}}`,
+		`{"name": "t", "pipeline": "online", "trace": {"segments": [{"seed": 1, "users": 1, "days": 1, "weights": {"query": 1}}]}, "run": {"driftTV": 0.5}}`,
+	} {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ParseSpec(data)
+		if err != nil {
+			return // rejected is fine; panicking is not
+		}
+		out, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("valid spec failed to marshal: %v", err)
+		}
+		s2, err := ParseSpec(out)
+		if err != nil {
+			t.Fatalf("marshal of a valid spec no longer parses: %v\n%s", err, out)
+		}
+		if !reflect.DeepEqual(s, s2) {
+			t.Fatalf("round trip changed the spec:\n%+v\n%+v", s, s2)
+		}
+	})
+}

@@ -1,0 +1,475 @@
+package scenario
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/fleet"
+	"repro/internal/metrics"
+	"repro/internal/online"
+	"repro/internal/policy"
+	"repro/internal/registry"
+	"repro/internal/serve"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Stats is a scenario run's machine-readable measurement record: the
+// threshold gate checks it and the bench history archives it. TCO /
+// TCIO / Retrains / Swaps are deterministic in the spec; JobsPerSec,
+// P99Ms and WallMs are wall-clock measurements and are excluded from
+// golden reports and the determinism contract.
+type Stats struct {
+	// Jobs is the evaluated job count (test-half jobs; fleet: total
+	// test jobs across clusters).
+	Jobs int `json:"jobs"`
+	// TCOPct / TCIOPct are the run's savings vs the all-HDD baseline.
+	TCOPct  float64 `json:"tco_pct"`
+	TCIOPct float64 `json:"tcio_pct"`
+	// Retrains / Swaps count online-loop activity (0 elsewhere).
+	Retrains int64 `json:"retrains"`
+	Swaps    int64 `json:"swaps"`
+	// JobsPerSec is evaluated jobs over the run's wall time.
+	JobsPerSec float64 `json:"jobs_per_sec"`
+	// P99Ms is the p99 per-decision latency in ms (serve pipeline; 0
+	// where not measured).
+	P99Ms float64 `json:"p99_ms"`
+	// WallMs is the run's wall time in ms.
+	WallMs float64 `json:"wall_ms"`
+}
+
+// Deterministic returns a copy with the wall-clock-derived fields
+// zeroed: the part of Stats that must be identical across runs and
+// worker counts.
+func (s Stats) Deterministic() Stats {
+	s.JobsPerSec, s.P99Ms, s.WallMs = 0, 0, 0
+	return s
+}
+
+// RunResult is one executed scenario: the deterministic rendered
+// report plus the measured stats.
+type RunResult struct {
+	Report []byte
+	Stats  Stats
+}
+
+// Execute runs a validated spec through its pipeline and renders the
+// report. The report bytes are deterministic in the spec; Stats
+// additionally carries the wall-clock measurements.
+func Execute(spec *Spec) (*RunResult, error) {
+	start := time.Now()
+	var (
+		res *RunResult
+		err error
+	)
+	switch spec.Pipeline {
+	case PipelineSim:
+		res, err = runSim(spec)
+	case PipelineServe:
+		res, err = runServe(spec)
+	case PipelineOnline:
+		res, err = runOnline(spec)
+	case PipelineFleet:
+		res, err = runFleet(spec)
+	default:
+		err = fmt.Errorf("scenario %s: unknown pipeline %q", spec.Name, spec.Pipeline)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", spec.Name, err)
+	}
+	wall := time.Since(start)
+	res.Stats.WallMs = float64(wall.Microseconds()) / 1000
+	if wall > 0 {
+		res.Stats.JobsPerSec = float64(res.Stats.Jobs) / wall.Seconds()
+	}
+	return res, nil
+}
+
+// env is the shared setup of the trace-driven pipelines: the merged
+// generated trace split at the spec's cut, a model trained on the
+// first part, and the quota sized off the test half's peak.
+type env struct {
+	train, test *trace.Trace
+	model       *core.CategoryModel
+	cm          *cost.Model
+	quota       float64
+}
+
+// trainSeed resolves the training seed: explicit, else the scenario's
+// primary generation seed.
+func (s *Spec) trainSeed() int64 {
+	if s.Train.Seed != 0 {
+		return s.Train.Seed
+	}
+	if s.Fleet != nil {
+		return s.Fleet.Seed
+	}
+	return s.Trace.Segments[0].Seed
+}
+
+// trainOptions maps TrainSpec onto core training options.
+func (s *Spec) trainOptions() core.TrainOptions {
+	topts := core.DefaultTrainOptions()
+	topts.NumCategories = s.Train.categories()
+	topts.GBDT.NumRounds = s.Train.rounds()
+	topts.GBDT.Seed = s.trainSeed()
+	return topts
+}
+
+// buildSegment realizes one segment spec as a generated, time-shifted
+// trace.
+func buildSegment(g *SegmentSpec, idx int) *trace.Trace {
+	cluster := g.Cluster
+	if cluster == "" {
+		cluster = fmt.Sprintf("s%d", idx)
+	}
+	cfg := trace.DefaultGeneratorConfig(cluster, g.Seed)
+	cfg.NumUsers = g.Users
+	cfg.DurationSec = g.Days * 24 * 3600
+	if g.MinPipes > 0 {
+		cfg.MinPipes = g.MinPipes
+	}
+	if g.MaxPipes > 0 {
+		cfg.MaxPipes = g.MaxPipes
+	}
+	if g.MinSteps > 0 {
+		cfg.MinSteps = g.MinSteps
+	}
+	if g.MaxSteps > 0 {
+		cfg.MaxSteps = g.MaxSteps
+	}
+	// A raised min with a defaulted max would invert the range the
+	// generator draws from; lift the max instead of failing.
+	if cfg.MinPipes > cfg.MaxPipes {
+		cfg.MaxPipes = cfg.MinPipes
+	}
+	if cfg.MinSteps > cfg.MaxSteps {
+		cfg.MaxSteps = cfg.MinSteps
+	}
+	if g.Weights != nil {
+		cfg.ArchetypeWeights = g.Weights
+	}
+	if g.LoadScale > 0 {
+		cfg.LoadScale = g.LoadScale
+	}
+	if g.NoiseScale > 0 {
+		cfg.NoiseScale = g.NoiseScale
+	}
+	seg := trace.NewGenerator(cfg).Generate()
+	if g.OffsetDays > 0 {
+		seg.Shift(g.OffsetDays * 24 * 3600)
+	}
+	return seg
+}
+
+// buildEnv generates the spec's segments, merges them on the shared
+// timeline, splits train/test at the spec's cut and trains the model.
+func buildEnv(spec *Spec) (*env, error) {
+	ts := spec.Trace
+	merged := &trace.Trace{Cluster: spec.Name}
+	for i := range ts.Segments {
+		seg := buildSegment(&ts.Segments[i], i)
+		merged.Jobs = append(merged.Jobs, seg.Jobs...)
+	}
+	merged.Sort()
+	cut := ts.splitFrac() * ts.totalDays() * 24 * 3600
+	train, test := merged.SplitAt(cut)
+	if len(train.Jobs) == 0 || len(test.Jobs) == 0 {
+		return nil, fmt.Errorf("degenerate split at %.2fd: %d train / %d test jobs",
+			cut/86400, len(train.Jobs), len(test.Jobs))
+	}
+	cm := cost.Default()
+	model, err := core.TrainCategoryModel(train.Jobs, cm, spec.trainOptions())
+	if err != nil {
+		return nil, fmt.Errorf("training model: %w", err)
+	}
+	return &env{
+		train: train,
+		test:  test,
+		model: model,
+		cm:    cm,
+		quota: test.PeakSSDUsage() * spec.Run.quotaFrac(),
+	}, nil
+}
+
+// writeHeader renders the deterministic report preamble shared by the
+// trace-driven pipelines.
+func (e *env) writeHeader(b *bytes.Buffer, spec *Spec) {
+	writeTitle(b, spec)
+	ts := spec.Trace
+	fmt.Fprintf(b, "trace: %d segment(s), %.2f days, split at %.2fd\n",
+		len(ts.Segments), ts.totalDays(), ts.splitFrac()*ts.totalDays())
+	fmt.Fprintf(b, "jobs: %d train / %d test\n", len(e.train.Jobs), len(e.test.Jobs))
+	fmt.Fprintf(b, "quota: %.1f%% of test peak = %.3f GiB\n",
+		spec.Run.quotaFrac()*100, e.quota/(1<<30))
+	fmt.Fprintf(b, "model: %d categories, %d rounds, seed %d\n",
+		spec.Train.categories(), spec.Train.rounds(), spec.trainSeed())
+}
+
+func writeTitle(b *bytes.Buffer, spec *Spec) {
+	fmt.Fprintf(b, "scenario: %s (%s)\n", spec.Name, spec.Pipeline)
+	if spec.Description != "" {
+		fmt.Fprintf(b, "%s\n", spec.Description)
+	}
+}
+
+// runSim replays the test half through the Algorithm 1 ranking policy
+// and the model-free FirstFit floor.
+func runSim(spec *Spec) (*RunResult, error) {
+	e, err := buildEnv(spec)
+	if err != nil {
+		return nil, err
+	}
+	p, err := policy.NewAdaptiveRanking(e.model, e.cm, core.DefaultAdaptiveConfig(e.model.NumCategories()))
+	if err != nil {
+		return nil, err
+	}
+	res, err := sim.Run(e.test, p, e.cm, sim.Config{SSDQuota: e.quota, KeepRecords: true})
+	if err != nil {
+		return nil, err
+	}
+	ff, err := sim.Run(e.test, policy.FirstFit{}, e.cm, sim.Config{SSDQuota: e.quota})
+	if err != nil {
+		return nil, err
+	}
+	wanted := 0
+	for i := range res.Records {
+		if res.Records[i].Outcome.WantedSSD {
+			wanted++
+		}
+	}
+	var b bytes.Buffer
+	e.writeHeader(&b, spec)
+	fmt.Fprintf(&b, "\nranking:  TCO %.3f%%  TCIO %.3f%%\n", res.TCOSavingsPercent(), res.TCIOSavingsPercent())
+	fmt.Fprintf(&b, "firstfit: TCO %.3f%%  TCIO %.3f%%\n", ff.TCOSavingsPercent(), ff.TCIOSavingsPercent())
+	fmt.Fprintf(&b, "ssd requested: %d of %d jobs (%.1f%%)\n",
+		wanted, len(e.test.Jobs), 100*float64(wanted)/float64(len(e.test.Jobs)))
+	fmt.Fprintf(&b, "ssd peak used: %.1f%% of quota\n", 100*res.SSDPeakUsed/e.quota)
+	return &RunResult{
+		Report: b.Bytes(),
+		Stats: Stats{
+			Jobs:    len(e.test.Jobs),
+			TCOPct:  res.TCOSavingsPercent(),
+			TCIOPct: res.TCIOSavingsPercent(),
+		},
+	}, nil
+}
+
+// serveLoop adapts the sharded batching server into a sim.Policy,
+// timing each decision. It mirrors the online package's loop policy
+// (fail fast after the first server error) and additionally records
+// per-Submit wall latency for the p99 stat.
+type serveLoop struct {
+	srv   *serve.Server
+	latMs []float64
+	err   error
+}
+
+func (p *serveLoop) Name() string { return "ScenarioServe" }
+
+func (p *serveLoop) Place(j *trace.Job, _ sim.PlaceContext) bool {
+	if p.err != nil {
+		return false
+	}
+	start := time.Now()
+	d, err := p.srv.Submit(j)
+	p.latMs = append(p.latMs, float64(time.Since(start).Microseconds())/1000)
+	if err != nil {
+		p.err = err
+		return false
+	}
+	return d.Admit
+}
+
+func (p *serveLoop) Observe(j *trace.Job, o sim.Outcome) {
+	if p.err != nil {
+		return
+	}
+	if err := p.srv.Observe(j, o); err != nil {
+		p.err = err
+	}
+}
+
+// newServer stands up a registry + sharded server pair serving the
+// env's model. BatchSize is pinned to 1: the simulator submits
+// sequentially in virtual time, so decisions stay deterministic and
+// batch accumulation would only add flush latency per job.
+func newServer(spec *Spec, e *env) (*registry.Registry, *serve.Server, error) {
+	reg := registry.New()
+	if _, err := reg.Publish(spec.Name, e.model, 0); err != nil {
+		return nil, nil, err
+	}
+	scfg := serve.DefaultConfig(e.model.NumCategories())
+	scfg.Shards = spec.Run.shards()
+	scfg.BatchSize = 1
+	srv, err := serve.New(reg, spec.Name, e.cm, scfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return reg, srv, nil
+}
+
+// runServe replays the test half through the frozen model behind the
+// sharded batching server — the serving seam without learning.
+func runServe(spec *Spec) (*RunResult, error) {
+	e, err := buildEnv(spec)
+	if err != nil {
+		return nil, err
+	}
+	_, srv, err := newServer(spec, e)
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+	lp := &serveLoop{srv: srv}
+	res, err := sim.Run(e.test, lp, e.cm, sim.Config{SSDQuota: e.quota, KeepRecords: true})
+	if err != nil {
+		return nil, err
+	}
+	if lp.err != nil {
+		return nil, fmt.Errorf("serve replay: %w", lp.err)
+	}
+	st := srv.Stats()
+	var b bytes.Buffer
+	e.writeHeader(&b, spec)
+	fmt.Fprintf(&b, "\ndecisions: %d submitted, %d admitted (%.1f%%) across %d shards\n",
+		st.Submitted, st.Admitted, 100*float64(st.Admitted)/float64(st.Submitted), spec.Run.shards())
+	fmt.Fprintf(&b, "model: v%d, swaps %d\n", srv.ModelVersion(), srv.Swaps())
+	fmt.Fprintf(&b, "serve: TCO %.3f%%  TCIO %.3f%%\n", res.TCOSavingsPercent(), res.TCIOSavingsPercent())
+	return &RunResult{
+		Report: b.Bytes(),
+		Stats: Stats{
+			Jobs:    len(e.test.Jobs),
+			TCOPct:  res.TCOSavingsPercent(),
+			TCIOPct: res.TCIOSavingsPercent(),
+			Swaps:   srv.Swaps(),
+			P99Ms:   metrics.Quantile(lp.latMs, 0.99),
+		},
+	}, nil
+}
+
+// runOnline replays the test half through the full closed loop:
+// server decisions, outcome feedback, synchronous gated retrains and
+// hot swaps. Every retrain attempt becomes one deterministic report
+// line (virtual time, trigger, sizes, shadow scores, verdict).
+func runOnline(spec *Spec) (*RunResult, error) {
+	e, err := buildEnv(spec)
+	if err != nil {
+		return nil, err
+	}
+	reg, srv, err := newServer(spec, e)
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+
+	var events []online.Event
+	lcfg := online.DefaultConfig(spec.Train.categories())
+	lcfg.Train = spec.trainOptions()
+	lcfg.Window.MaxCount = spec.Run.windowMax()
+	lcfg.RetrainEverySec = spec.Run.retrainSec()
+	lcfg.Drift.TVThreshold = spec.Run.DriftTV
+	lcfg.Drift.MinSamples = spec.Run.minRetrainJobs()
+	lcfg.MinRetrainJobs = spec.Run.minRetrainJobs()
+	lcfg.GateEpsilonPct = spec.Run.gateEpsPct()
+	lcfg.OnEvent = func(ev online.Event) { events = append(events, ev) }
+	learner, err := online.New(reg, spec.Name, e.cm, lcfg)
+	if err != nil {
+		return nil, err
+	}
+	defer learner.Close()
+
+	res, err := online.RunLoop(e.test, srv, learner, e.cm, sim.Config{SSDQuota: e.quota, KeepRecords: true})
+	if err != nil {
+		return nil, err
+	}
+
+	var b bytes.Buffer
+	e.writeHeader(&b, spec)
+	fmt.Fprintf(&b, "\n")
+	var accepts int64
+	for _, ev := range events {
+		verdict := "ACCEPT"
+		switch {
+		case ev.Err != nil:
+			verdict = "ERROR " + ev.Err.Error()
+		case !ev.Accepted:
+			verdict = "REJECT"
+		default:
+			accepts++
+			verdict = fmt.Sprintf("ACCEPT v%d", ev.Version)
+		}
+		fmt.Fprintf(&b, "retrain t=%.2fd %-7s window=%d train=%d holdout=%d cand=%.3f%% live=%.3f%% -> %s\n",
+			ev.Sec/86400, ev.Trigger, ev.WindowJobs, ev.TrainJobs, ev.HoldoutJobs,
+			ev.CandidatePct, ev.LivePct, verdict)
+	}
+	fmt.Fprintf(&b, "loop: %d retrains, %d accepted, %d swaps, final model v%d\n",
+		len(events), accepts, srv.Swaps(), srv.ModelVersion())
+	fmt.Fprintf(&b, "window: %d records held\n", learner.WindowLen())
+	fmt.Fprintf(&b, "online: TCO %.3f%%  TCIO %.3f%%\n", res.TCOSavingsPercent(), res.TCIOSavingsPercent())
+	return &RunResult{
+		Report: b.Bytes(),
+		Stats: Stats{
+			Jobs:     len(e.test.Jobs),
+			TCOPct:   res.TCOSavingsPercent(),
+			TCIOPct:  res.TCIOSavingsPercent(),
+			Retrains: int64(len(events)),
+			Swaps:    srv.Swaps(),
+		},
+	}, nil
+}
+
+// runFleet drives the multi-cluster fleet comparison from the spec.
+func runFleet(spec *Spec) (*RunResult, error) {
+	f := spec.Fleet
+	fcfg := fleet.DefaultConfig(f.Clusters, f.Seed)
+	fcfg.Fleet.DurationSec = f.Days * 24 * 3600
+	fcfg.Fleet.Users = f.users()
+	fcfg.Train = spec.trainOptions()
+	fcfg.DonorCluster = f.Donor
+	if f.Online {
+		ocfg := online.DefaultConfig(spec.Train.categories())
+		ocfg.Train = spec.trainOptions()
+		ocfg.Window.MaxCount = spec.Run.windowMax()
+		ocfg.Window.HorizonSec = f.Days * 24 * 3600
+		ocfg.RetrainEverySec = spec.Run.retrainSec()
+		ocfg.Drift.TVThreshold = spec.Run.DriftTV
+		ocfg.Drift.MinSamples = spec.Run.minRetrainJobs()
+		ocfg.MinRetrainJobs = spec.Run.minRetrainJobs()
+		ocfg.GateEpsilonPct = spec.Run.gateEpsPct()
+		fcfg.Online = &ocfg
+	}
+	rep, err := fleet.Run(fcfg)
+	if err != nil {
+		return nil, err
+	}
+	var b bytes.Buffer
+	writeTitle(&b, spec)
+	fmt.Fprintf(&b, "fleet: %d clusters, %.2f days, %d users, donor C%d, online=%v\n",
+		f.Clusters, f.Days, f.users(), f.Donor, f.Online)
+	fmt.Fprintf(&b, "model: %d categories, %d rounds, seed %d\n\n",
+		spec.Train.categories(), spec.Train.rounds(), spec.trainSeed())
+	rep.Render(&b)
+	var tcio, tcioSaved float64
+	for i := range rep.Clusters {
+		tcio += rep.Clusters[i].TotalTCIO
+		tcioSaved += rep.Clusters[i].PerCluster.TCIOSaved
+	}
+	var tcioPct float64
+	if tcio > 0 {
+		tcioPct = 100 * tcioSaved / tcio
+	}
+	return &RunResult{
+		Report: b.Bytes(),
+		Stats: Stats{
+			Jobs:     rep.TotalTestJobs,
+			TCOPct:   rep.PerClusterAggTCOPct,
+			TCIOPct:  tcioPct,
+			Retrains: rep.Counters.OnlineRetrains,
+			Swaps:    rep.Counters.OnlineSwaps,
+		},
+	}, nil
+}

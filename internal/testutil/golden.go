@@ -1,21 +1,36 @@
 // Package testutil holds shared test helpers: golden-file comparison
-// with an -update flag to regenerate expectations.
+// with a single repo-wide -update flag to regenerate expectations.
+//
+// The -update flag is registered exactly once, here. Every package
+// with a test binary links this package (packages without their own
+// golden files do it via a blank import in goldenflag_test.go), so
+//
+//	go test ./... -update
+//
+// re-goldens the whole repository in one command instead of failing
+// in packages that never defined the flag.
+//
+// The comparison core lives in internal/golden (no testing import),
+// so non-test tooling — notably the cmd/scenario runner, which diffs
+// scenario reports against scenarios/<name>/report.golden — applies
+// byte-for-byte identical semantics to what the golden tests enforce.
 package testutil
 
 import (
-	"bytes"
 	"flag"
-	"fmt"
-	"os"
-	"path/filepath"
 	"testing"
+
+	"repro/internal/golden"
 )
 
-// update is registered once here; only test binaries that link this
-// package gain the flag, so name them explicitly when regenerating:
-// go test -run Golden ./internal/experiments ./internal/fleet -update
-// (a bare ./... fails in packages that don't define -update)
+// update is registered once here; test binaries gain the flag by
+// linking this package. See the package comment.
 var update = flag.Bool("update", false, "rewrite golden files with the current output")
+
+// UpdateEnabled reports whether the test binary was invoked with
+// -update. Helpers that manage golden files themselves (rather than
+// calling Golden) use it to decide between compare and rewrite.
+func UpdateEnabled() bool { return *update }
 
 // Golden compares got against the golden file at path (relative to the
 // test's working directory, conventionally testdata/<name>.golden).
@@ -25,52 +40,13 @@ var update = flag.Bool("update", false, "rewrite golden files with the current o
 func Golden(t *testing.T, path string, got []byte) {
 	t.Helper()
 	if *update {
-		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-			t.Fatalf("golden: %v", err)
-		}
-		if err := os.WriteFile(path, got, 0o644); err != nil {
+		if err := golden.Write(path, got); err != nil {
 			t.Fatalf("golden: %v", err)
 		}
 		t.Logf("golden: rewrote %s (%d bytes)", path, len(got))
 		return
 	}
-	want, err := os.ReadFile(path)
-	if err != nil {
-		t.Fatalf("golden: %v (run with -update to create it)", err)
+	if err := golden.Compare(path, got); err != nil {
+		t.Errorf("%v", err)
 	}
-	if bytes.Equal(want, got) {
-		return
-	}
-	t.Errorf("golden: output differs from %s (re-run with -update if the change is intended)\n%s",
-		path, diff(want, got))
-}
-
-// diff renders a line-oriented first-divergence report: full diffs need
-// no dependency for the small reports golden tests pin.
-func diff(want, got []byte) string {
-	wl := bytes.Split(want, []byte("\n"))
-	gl := bytes.Split(got, []byte("\n"))
-	var out bytes.Buffer
-	n := len(wl)
-	if len(gl) > n {
-		n = len(gl)
-	}
-	for i := 0; i < n; i++ {
-		var w, g []byte
-		if i < len(wl) {
-			w = wl[i]
-		}
-		if i < len(gl) {
-			g = gl[i]
-		}
-		if bytes.Equal(w, g) {
-			continue
-		}
-		fmt.Fprintf(&out, "line %d:\n  want: %s\n  got:  %s\n", i+1, w, g)
-		if out.Len() > 2000 {
-			fmt.Fprintln(&out, "  ... (truncated)")
-			break
-		}
-	}
-	return out.String()
 }
