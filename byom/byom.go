@@ -160,6 +160,10 @@ type (
 	ClientConfig = rpc.ClientConfig
 	// ClientStats counts a client's request outcomes (sheds, retries).
 	ClientStats = rpc.ClientStats
+	// StreamSession is one persistent binary placement stream: a
+	// single upgraded connection carrying pre-binned place frames both
+	// ways. Open one per submitting goroutine with OpenStream.
+	StreamSession = rpc.StreamSession
 	// RPCStats is a snapshot of the daemon's request counters.
 	RPCStats = metrics.RPCSnapshot
 	// WireDecision is one placement verdict as it crosses the wire.
@@ -285,10 +289,24 @@ func DefaultClientConfig(baseURL string) ClientConfig {
 // NewClient builds a placement client for the daemon at cfg.BaseURL.
 // One Client is meant to be shared by many goroutines; it reuses
 // connections, applies per-request deadlines and absorbs shed (429)
-// responses with bounded retries.
+// responses with bounded retries. Set cfg.Codec to CodecBinary for the
+// binary wire codec with client-side feature extraction and
+// pre-binning (falls back to JSON against daemons that don't speak
+// it); (*Client).OpenStream upgrades to a persistent binary stream.
 func NewClient(cfg ClientConfig) (*Client, error) {
 	return rpc.NewClient(cfg)
 }
+
+// Place codecs for ClientConfig.Codec.
+const (
+	// CodecJSON is the JSON request/response codec (the default).
+	CodecJSON = rpc.CodecJSON
+	// CodecBinary is the binary frame codec: the client fetches the
+	// model's bin schema once, extracts and bins features locally, and
+	// ships fixed-width pre-binned rows the daemon serves with no
+	// per-job feature work. Decisions are bit-identical to JSON's.
+	CodecBinary = rpc.CodecBinary
+)
 
 // DefaultOnlineConfig returns continuous-learning parameters for an
 // N-category model: a 3.5-day / 8192-record window, daily retrain

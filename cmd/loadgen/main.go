@@ -10,6 +10,8 @@
 //	loadgen -addr 127.0.0.1:7070 -qps 20000 -conns 8 -duration 10s
 //	loadgen -addr 127.0.0.1:7070 -qps 0           # unpaced, max rate
 //	loadgen -addr 127.0.0.1:7070 -outcomes        # also post feedback
+//	loadgen -addr 127.0.0.1:7070 -codec binary    # pre-binned frames
+//	loadgen -addr 127.0.0.1:7070 -codec binary -stream  # persistent streams
 package main
 
 import (
@@ -27,6 +29,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/rpc"
+	"repro/internal/rpc/wire"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -52,6 +55,8 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		retries  = fs.Int("retries", 4, "bounded retries after shed (429) responses")
 		backoff  = fs.Duration("backoff", 2*time.Millisecond, "first retry backoff (doubles per retry)")
 		outcomes = fs.Bool("outcomes", false, "post one outcome per request batch (exercises /v1/outcome)")
+		codec    = fs.String("codec", rpc.CodecJSON, "place codec: json, or binary (client-side pre-binning)")
+		stream   = fs.Bool("stream", false, "use one persistent binary stream per connection (requires -codec binary)")
 		days     = fs.Float64("days", 1, "generated trace length in days")
 		users    = fs.Int("users", 6, "generated trace users")
 		seed     = fs.Int64("seed", 1, "generated trace seed")
@@ -68,6 +73,12 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	if *conns < 1 || *chunk < 1 {
 		return fmt.Errorf("-conns and -chunk must be >= 1")
 	}
+	if *codec != rpc.CodecJSON && *codec != rpc.CodecBinary {
+		return fmt.Errorf("-codec must be %q or %q, got %q", rpc.CodecJSON, rpc.CodecBinary, *codec)
+	}
+	if *stream && *codec != rpc.CodecBinary {
+		return fmt.Errorf("-stream requires -codec binary")
+	}
 
 	gcfg := trace.DefaultGeneratorConfig("loadgen", *seed)
 	gcfg.DurationSec = *days * 24 * 3600
@@ -78,6 +89,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	}
 
 	ccfg := rpc.DefaultClientConfig("http://" + *addr)
+	ccfg.Codec = *codec
 	ccfg.RequestTimeout = *deadline
 	ccfg.MaxRetries = *retries
 	ccfg.RetryBackoff = *backoff
@@ -114,6 +126,24 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// In -stream mode each connection owns one persistent
+			// binary session; place calls ride the same socket.
+			var sess *rpc.StreamSession
+			if *stream {
+				s, err := client.OpenStream(ctx)
+				if err != nil {
+					errCount.Add(1)
+					return
+				}
+				defer s.Close()
+				sess = s
+			}
+			place := func(ctx context.Context, jobs []*trace.Job) ([]wire.Decision, error) {
+				if sess != nil {
+					return sess.Place(ctx, jobs)
+				}
+				return client.Place(ctx, jobs)
+			}
 			for ctx.Err() == nil {
 				// Wall clock bounds the run in both modes: when the
 				// daemon can't keep up with the offered rate, the
@@ -139,7 +169,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 				lo := int(n) * *chunk % (len(pool) - *chunk)
 				jobs := pool[lo : lo+*chunk]
 				sent := time.Now()
-				decs, err := client.Place(ctx, jobs)
+				decs, err := place(ctx, jobs)
 				if err != nil {
 					errCount.Add(1)
 					// Failed requests keep their measured duration —
@@ -175,6 +205,8 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	s := summary{
 		Target:       "http://" + *addr,
 		ModelVersion: info.ModelVersion,
+		Codec:        *codec,
+		Stream:       *stream,
 		Conns:        *conns,
 		Chunk:        *chunk,
 		TargetQPS:    *qps,
@@ -202,6 +234,8 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 type summary struct {
 	Target       string
 	ModelVersion int
+	Codec        string
+	Stream       bool
 	Conns, Chunk int
 	TargetQPS    float64
 	Elapsed      time.Duration
@@ -224,8 +258,15 @@ func writeSummary(w io.Writer, s summary) {
 	if s.TargetQPS > 0 {
 		offered = fmt.Sprintf("%.0f placements/sec", s.TargetQPS)
 	}
+	codec := s.Codec
+	if codec == "" {
+		codec = rpc.CodecJSON
+	}
+	if s.Stream {
+		codec += " streaming"
+	}
 	fmt.Fprintf(w, "loadgen summary\n")
-	fmt.Fprintf(w, "  target:    %s (model v%d)\n", s.Target, s.ModelVersion)
+	fmt.Fprintf(w, "  target:    %s (model v%d, %s codec)\n", s.Target, s.ModelVersion, codec)
 	fmt.Fprintf(w, "  offered:   %s over %d conns, %d-job requests\n", offered, s.Conns, s.Chunk)
 	fmt.Fprintf(w, "  measured:  %.2fs wall, %d requests, %d placements, %d outcomes\n",
 		s.Elapsed.Seconds(), s.Requests, s.Placements, s.Outcomes)

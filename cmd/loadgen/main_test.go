@@ -21,6 +21,8 @@ func TestSummaryGolden(t *testing.T) {
 	s := summary{
 		Target:       "http://127.0.0.1:7070",
 		ModelVersion: 3,
+		Codec:        rpc.CodecBinary,
+		Stream:       true,
 		Conns:        8,
 		Chunk:        64,
 		TargetQPS:    20000,
@@ -87,24 +89,46 @@ func TestLoadgenAgainstDaemon(t *testing.T) {
 		}
 	}()
 
-	var out bytes.Buffer
-	err = run(context.Background(), []string{
-		"-addr", d.Addr(), "-qps", "2000", "-conns", "2", "-chunk", "16",
-		"-duration", "500ms", "-days", "0.2", "-users", "3", "-outcomes",
-	}, &out)
-	if err != nil {
-		t.Fatalf("loadgen: %v\n%s", err, out.String())
+	// One short run per serving mode: JSON, binary request/response,
+	// and binary streaming — all against the same daemon.
+	modes := []struct {
+		name  string
+		extra []string
+		want  string
+	}{
+		{"json", nil, "json codec"},
+		{"binary", []string{"-codec", "binary"}, "binary codec"},
+		{"stream", []string{"-codec", "binary", "-stream"}, "binary streaming codec"},
 	}
-	for _, want := range []string{"loadgen summary", "achieved:", "latency:   p50", " 0 failures, 0 request errors"} {
-		if !strings.Contains(out.String(), want) {
-			t.Errorf("output missing %q:\n%s", want, out.String())
-		}
+	for _, m := range modes {
+		t.Run(m.name, func(t *testing.T) {
+			args := append([]string{
+				"-addr", d.Addr(), "-qps", "2000", "-conns", "2", "-chunk", "16",
+				"-duration", "500ms", "-days", "0.2", "-users", "3", "-outcomes",
+			}, m.extra...)
+			var out bytes.Buffer
+			if err := run(context.Background(), args, &out); err != nil {
+				t.Fatalf("loadgen: %v\n%s", err, out.String())
+			}
+			for _, want := range []string{"loadgen summary", m.want, "achieved:", "latency:   p50", " 0 failures, 0 request errors"} {
+				if !strings.Contains(out.String(), want) {
+					t.Errorf("output missing %q:\n%s", want, out.String())
+				}
+			}
+		})
 	}
 	if d.Stats().PlaceJobs == 0 {
 		t.Error("daemon served no placements during the load run")
 	}
 	if d.Stats().OutcomeRequests == 0 {
 		t.Error("-outcomes posted no feedback")
+	}
+	if d.Stats().PlaceBinary == 0 || d.Stats().PlaceJSON == 0 {
+		t.Errorf("daemon counted %d binary / %d json places, want both > 0",
+			d.Stats().PlaceBinary, d.Stats().PlaceJSON)
+	}
+	if d.Stats().StreamSessions == 0 {
+		t.Error("streaming run opened no stream sessions")
 	}
 }
 
@@ -116,6 +140,12 @@ func TestLoadgenRejectsBadFlags(t *testing.T) {
 	}
 	if err := run(ctx, []string{"-addr", "h:1", "-conns", "0"}, &buf); err == nil {
 		t.Error("zero conns accepted")
+	}
+	if err := run(ctx, []string{"-addr", "h:1", "-stream"}, &buf); err == nil {
+		t.Error("-stream without -codec binary accepted")
+	}
+	if err := run(ctx, []string{"-addr", "h:1", "-codec", "xml"}, &buf); err == nil {
+		t.Error("unknown codec accepted")
 	}
 	if err := run(ctx, []string{"-addr", "127.0.0.1:9", "-duration", "10ms"}, &buf); err == nil {
 		t.Error("unreachable daemon accepted (probe should fail)")

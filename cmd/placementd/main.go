@@ -66,6 +66,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		outFl    = fs.Int("max-inflight-outcome", 256, "concurrent /v1/outcome requests before shedding")
 		queue    = fs.Duration("queue-deadline", 5*time.Millisecond, "max wait for an in-flight slot before 429")
 		maxBatch = fs.Int("max-batch", 4096, "max jobs per place request (0 = unlimited)")
+		noBinary = fs.Bool("disable-binary", false, "serve JSON only: refuse binary frames and streams, omit the bin schema from /v1/model")
 		drain    = fs.Duration("drain", 10*time.Second, "graceful drain deadline on shutdown")
 
 		onlineMode   = fs.Bool("online", false, "attach a continuous learner fed by /v1/outcome")
@@ -97,6 +98,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	cfg.MaxInFlightOutcome = *outFl
 	cfg.QueueDeadline = *queue
 	cfg.MaxBatch = *maxBatch
+	cfg.DisableBinary = *noBinary
 
 	var learner *online.Learner
 	if *onlineMode {

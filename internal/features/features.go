@@ -332,14 +332,25 @@ func LoadEncoder(r io.Reader) (*Encoder, error) {
 	if err := json.NewDecoder(r).Decode(&e); err != nil {
 		return nil, fmt.Errorf("features: decode: %w", err)
 	}
+	if err := e.Finalize(); err != nil {
+		return nil, err
+	}
+	return &e, nil
+}
+
+// Finalize validates a deserialized encoder and rebuilds its unexported
+// schema. Callers that decode an Encoder embedded in a larger JSON
+// payload (e.g. the wire ModelInfo) must call it before first use;
+// LoadEncoder does so itself.
+func (e *Encoder) Finalize() error {
 	if e.HashBuckets == 0 {
 		want := len(categoricalFeatureNames()) - 1
 		if len(e.Vocabs) != want {
-			return nil, fmt.Errorf("features: encoder has %d vocabularies, want %d", len(e.Vocabs), want)
+			return fmt.Errorf("features: encoder has %d vocabularies, want %d", len(e.Vocabs), want)
 		}
 	} else if e.HashBuckets < 2 {
-		return nil, fmt.Errorf("features: encoder has %d hash buckets", e.HashBuckets)
+		return fmt.Errorf("features: encoder has %d hash buckets", e.HashBuckets)
 	}
 	e.buildSchema()
-	return &e, nil
+	return nil
 }

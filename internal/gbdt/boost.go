@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 )
 
 // Config holds the boosting hyperparameters. The paper's category models
@@ -460,6 +461,45 @@ func (m *Model) FeatureImportance() []float64 {
 		}
 	}
 	return imp
+}
+
+// NumericSplitThresholds returns, per feature, the sorted distinct
+// thresholds of every numeric split in the model (nil for features the
+// model never splits numerically, including all categorical features).
+// These are the only values a feature row is ever compared against
+// during inference, so quantizing a row to the inter-threshold interval
+// each value falls in preserves every tree routing decision exactly —
+// the contract behind client-side pre-binning on the serving wire.
+func (m *Model) NumericSplitThresholds() [][]float64 {
+	nf := m.Schema.NumFeatures()
+	sets := make([]map[float64]struct{}, nf)
+	for _, round := range m.Trees {
+		for _, tree := range round {
+			for i := range tree.Nodes {
+				n := &tree.Nodes[i]
+				if n.IsLeaf || n.Kind != Numeric {
+					continue
+				}
+				if sets[n.Feature] == nil {
+					sets[n.Feature] = map[float64]struct{}{}
+				}
+				sets[n.Feature][n.Threshold] = struct{}{}
+			}
+		}
+	}
+	out := make([][]float64, nf)
+	for f, set := range sets {
+		if len(set) == 0 {
+			continue
+		}
+		edges := make([]float64, 0, len(set))
+		for t := range set {
+			edges = append(edges, t)
+		}
+		sort.Float64s(edges)
+		out[f] = edges
+	}
+	return out
 }
 
 // NumTrees returns the total number of trees in the model.

@@ -16,9 +16,24 @@ type ShardCounters struct {
 	batches        atomic.Int64
 	fullFlushes    atomic.Int64
 	timeoutFlushes atomic.Int64
+	drainFlushes   atomic.Int64
 	latencyNs      atomic.Int64
 	maxLatencyNs   atomic.Int64
 }
+
+// FlushKind says why a shard batch was closed.
+type FlushKind int
+
+const (
+	// FlushFull: the batch reached BatchSize.
+	FlushFull FlushKind = iota
+	// FlushTimeout: the max-latency flush timer fired.
+	FlushTimeout
+	// FlushDrain: the queue drained with no submitter in flight, so the
+	// partial batch was flushed immediately instead of waiting out the
+	// timer (the adaptive low-QPS path).
+	FlushDrain
+)
 
 // RecordDecision counts one served placement decision and its queue+
 // inference latency.
@@ -40,13 +55,15 @@ func (c *ShardCounters) RecordDecision(admitted bool, latency time.Duration) {
 // RecordObservation counts one feedback observation.
 func (c *ShardCounters) RecordObservation() { c.observations.Add(1) }
 
-// RecordBatch counts one processed batch; timeout reports whether the
-// batch was flushed by the max-latency timer rather than by filling up.
-func (c *ShardCounters) RecordBatch(timeout bool) {
+// RecordBatch counts one processed batch and why it was flushed.
+func (c *ShardCounters) RecordBatch(kind FlushKind) {
 	c.batches.Add(1)
-	if timeout {
+	switch kind {
+	case FlushTimeout:
 		c.timeoutFlushes.Add(1)
-	} else {
+	case FlushDrain:
+		c.drainFlushes.Add(1)
+	default:
 		c.fullFlushes.Add(1)
 	}
 }
@@ -59,6 +76,7 @@ type ShardSnapshot struct {
 	Batches        int64
 	FullFlushes    int64
 	TimeoutFlushes int64
+	DrainFlushes   int64
 	MeanLatency    time.Duration
 	MaxLatency     time.Duration
 	MeanBatchSize  float64
@@ -74,6 +92,7 @@ func (c *ShardCounters) Snapshot() ShardSnapshot {
 		Batches:        c.batches.Load(),
 		FullFlushes:    c.fullFlushes.Load(),
 		TimeoutFlushes: c.timeoutFlushes.Load(),
+		DrainFlushes:   c.drainFlushes.Load(),
 		MaxLatency:     time.Duration(c.maxLatencyNs.Load()),
 	}
 	if s.Submitted > 0 {
@@ -97,6 +116,7 @@ func Merge(snaps []ShardSnapshot) ShardSnapshot {
 		out.Batches += s.Batches
 		out.FullFlushes += s.FullFlushes
 		out.TimeoutFlushes += s.TimeoutFlushes
+		out.DrainFlushes += s.DrainFlushes
 		latNs += int64(s.MeanLatency) * s.Submitted
 		if s.MaxLatency > out.MaxLatency {
 			out.MaxLatency = s.MaxLatency

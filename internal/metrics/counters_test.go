@@ -12,14 +12,15 @@ func TestShardCountersSnapshot(t *testing.T) {
 	c.RecordDecision(false, 30*time.Microsecond)
 	c.RecordDecision(true, 20*time.Microsecond)
 	c.RecordObservation()
-	c.RecordBatch(false)
-	c.RecordBatch(true)
+	c.RecordBatch(FlushFull)
+	c.RecordBatch(FlushTimeout)
+	c.RecordBatch(FlushDrain)
 
 	s := c.Snapshot()
 	if s.Submitted != 3 || s.Admitted != 2 || s.Observations != 1 {
 		t.Fatalf("bad counts: %+v", s)
 	}
-	if s.Batches != 2 || s.FullFlushes != 1 || s.TimeoutFlushes != 1 {
+	if s.Batches != 3 || s.FullFlushes != 1 || s.TimeoutFlushes != 1 || s.DrainFlushes != 1 {
 		t.Fatalf("bad batch counts: %+v", s)
 	}
 	if s.MeanLatency != 20*time.Microsecond {
@@ -28,8 +29,8 @@ func TestShardCountersSnapshot(t *testing.T) {
 	if s.MaxLatency != 30*time.Microsecond {
 		t.Fatalf("max latency %s, want 30us", s.MaxLatency)
 	}
-	if s.MeanBatchSize != 1.5 {
-		t.Fatalf("mean batch size %g, want 1.5", s.MeanBatchSize)
+	if s.MeanBatchSize != 1.0 {
+		t.Fatalf("mean batch size %g, want 1.0", s.MeanBatchSize)
 	}
 }
 
@@ -66,10 +67,10 @@ func TestShardCountersConcurrent(t *testing.T) {
 func TestMerge(t *testing.T) {
 	var a, b ShardCounters
 	a.RecordDecision(true, 10*time.Microsecond)
-	a.RecordBatch(false)
+	a.RecordBatch(FlushFull)
 	b.RecordDecision(false, 30*time.Microsecond)
 	b.RecordDecision(false, 50*time.Microsecond)
-	b.RecordBatch(true)
+	b.RecordBatch(FlushTimeout)
 
 	m := Merge([]ShardSnapshot{a.Snapshot(), b.Snapshot()})
 	if m.Submitted != 3 || m.Admitted != 1 || m.Batches != 2 {

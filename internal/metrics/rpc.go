@@ -12,6 +12,10 @@ import (
 type RPCCounters struct {
 	placeRequests   atomic.Int64
 	placeJobs       atomic.Int64
+	placeJSON       atomic.Int64
+	placeBinary     atomic.Int64
+	streamSessions  atomic.Int64
+	streamFrames    atomic.Int64
 	outcomeRequests atomic.Int64
 	modelRequests   atomic.Int64
 	shed            atomic.Int64
@@ -21,13 +25,26 @@ type RPCCounters struct {
 	maxLatencyNs    atomic.Int64
 }
 
-// RecordPlace counts one served /v1/place request and the placements it
-// carried, plus its handler latency (admission wait + serve + encode).
-func (c *RPCCounters) RecordPlace(jobs int, latency time.Duration) {
+// RecordPlace counts one served placement batch (an HTTP /v1/place
+// request or one stream frame), the placements it carried, its handler
+// latency (admission wait + serve + encode) and which codec carried it.
+func (c *RPCCounters) RecordPlace(binary bool, jobs int, latency time.Duration) {
 	c.placeRequests.Add(1)
 	c.placeJobs.Add(int64(jobs))
+	if binary {
+		c.placeBinary.Add(1)
+	} else {
+		c.placeJSON.Add(1)
+	}
 	c.recordLatency(latency)
 }
+
+// RecordStreamSession counts one accepted persistent stream session.
+func (c *RPCCounters) RecordStreamSession() { c.streamSessions.Add(1) }
+
+// RecordStreamFrame counts one placement frame served over a stream
+// session (in addition to its RecordPlace accounting).
+func (c *RPCCounters) RecordStreamFrame() { c.streamFrames.Add(1) }
 
 // RecordOutcome counts one served /v1/outcome request.
 func (c *RPCCounters) RecordOutcome(latency time.Duration) {
@@ -60,8 +77,13 @@ func (c *RPCCounters) recordLatency(latency time.Duration) {
 
 // RPCSnapshot is a point-in-time copy of the daemon's counters.
 type RPCSnapshot struct {
-	PlaceRequests   int64
-	PlaceJobs       int64
+	PlaceRequests  int64
+	PlaceJobs      int64
+	PlaceJSON      int64
+	PlaceBinary    int64
+	StreamSessions int64
+	StreamFrames   int64
+
 	OutcomeRequests int64
 	ModelRequests   int64
 	Shed            int64
@@ -77,6 +99,10 @@ func (c *RPCCounters) Snapshot() RPCSnapshot {
 	s := RPCSnapshot{
 		PlaceRequests:   c.placeRequests.Load(),
 		PlaceJobs:       c.placeJobs.Load(),
+		PlaceJSON:       c.placeJSON.Load(),
+		PlaceBinary:     c.placeBinary.Load(),
+		StreamSessions:  c.streamSessions.Load(),
+		StreamFrames:    c.streamFrames.Load(),
 		OutcomeRequests: c.outcomeRequests.Load(),
 		ModelRequests:   c.modelRequests.Load(),
 		Shed:            c.shed.Load(),

@@ -20,6 +20,7 @@ func (s ShardSnapshot) WriteText(w io.Writer, prefix string) {
 	writeInt(w, prefix, "batches", s.Batches)
 	writeInt(w, prefix, "full_flushes", s.FullFlushes)
 	writeInt(w, prefix, "timeout_flushes", s.TimeoutFlushes)
+	writeInt(w, prefix, "drain_flushes", s.DrainFlushes)
 	writeFloat(w, prefix, "mean_batch_size", s.MeanBatchSize)
 	writeInt(w, prefix, "mean_latency_ns", int64(s.MeanLatency))
 	writeInt(w, prefix, "max_latency_ns", int64(s.MaxLatency))
@@ -52,6 +53,10 @@ func (s FleetSnapshot) WriteText(w io.Writer, prefix string) {
 func (s RPCSnapshot) WriteText(w io.Writer, prefix string) {
 	writeInt(w, prefix, "place_requests", s.PlaceRequests)
 	writeInt(w, prefix, "place_jobs", s.PlaceJobs)
+	writeInt(w, prefix, "place_json_total", s.PlaceJSON)
+	writeInt(w, prefix, "place_binary_total", s.PlaceBinary)
+	writeInt(w, prefix, "stream_sessions", s.StreamSessions)
+	writeInt(w, prefix, "stream_frames", s.StreamFrames)
 	writeInt(w, prefix, "outcome_requests", s.OutcomeRequests)
 	writeInt(w, prefix, "model_requests", s.ModelRequests)
 	writeInt(w, prefix, "shed", s.Shed)

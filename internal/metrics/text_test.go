@@ -14,8 +14,9 @@ func TestWriteTextShard(t *testing.T) {
 		Admitted:       640,
 		Observations:   12,
 		Batches:        20,
-		FullFlushes:    15,
+		FullFlushes:    14,
 		TimeoutFlushes: 5,
+		DrainFlushes:   1,
 		MeanBatchSize:  50,
 		MeanLatency:    1500 * time.Microsecond,
 		MaxLatency:     9 * time.Millisecond,
@@ -27,8 +28,9 @@ func TestWriteTextShard(t *testing.T) {
 		"serve_admitted 640",
 		"serve_observations 12",
 		"serve_batches 20",
-		"serve_full_flushes 15",
+		"serve_full_flushes 14",
 		"serve_timeout_flushes 5",
+		"serve_drain_flushes 1",
 		"serve_mean_batch_size 50.00",
 		"serve_mean_latency_ns 1500000",
 		"serve_max_latency_ns 9000000",
@@ -48,10 +50,10 @@ func TestWriteTextAllTypes(t *testing.T) {
 		render func(b *strings.Builder)
 		lines  int
 	}{
-		{"serve", func(b *strings.Builder) { ShardSnapshot{}.WriteText(b, "serve") }, 9},
+		{"serve", func(b *strings.Builder) { ShardSnapshot{}.WriteText(b, "serve") }, 10},
 		{"online", func(b *strings.Builder) { OnlineSnapshot{}.WriteText(b, "online") }, 10},
 		{"fleet", func(b *strings.Builder) { FleetSnapshot{}.WriteText(b, "fleet") }, 5},
-		{"rpc", func(b *strings.Builder) { RPCSnapshot{}.WriteText(b, "rpc") }, 9},
+		{"rpc", func(b *strings.Builder) { RPCSnapshot{}.WriteText(b, "rpc") }, 13},
 	}
 	seen := map[string]bool{}
 	for _, tc := range cases {
@@ -82,8 +84,10 @@ func TestWriteTextAllTypes(t *testing.T) {
 // TestRPCCountersSnapshot exercises the daemon counters end to end.
 func TestRPCCountersSnapshot(t *testing.T) {
 	var c RPCCounters
-	c.RecordPlace(64, 2*time.Millisecond)
-	c.RecordPlace(1, 4*time.Millisecond)
+	c.RecordPlace(false, 64, 2*time.Millisecond)
+	c.RecordPlace(true, 1, 4*time.Millisecond)
+	c.RecordStreamSession()
+	c.RecordStreamFrame()
 	c.RecordOutcome(3 * time.Millisecond)
 	c.RecordModelInfo()
 	c.RecordShed()
@@ -93,6 +97,12 @@ func TestRPCCountersSnapshot(t *testing.T) {
 	s := c.Snapshot()
 	if s.PlaceRequests != 2 || s.PlaceJobs != 65 || s.OutcomeRequests != 1 {
 		t.Errorf("request counts: %+v", s)
+	}
+	if s.PlaceJSON != 1 || s.PlaceBinary != 1 {
+		t.Errorf("codec split: %+v", s)
+	}
+	if s.StreamSessions != 1 || s.StreamFrames != 1 {
+		t.Errorf("stream counts: %+v", s)
 	}
 	if s.ModelRequests != 1 || s.Shed != 2 || s.BadRequests != 1 || s.ServerErrors != 1 {
 		t.Errorf("outcome counts: %+v", s)

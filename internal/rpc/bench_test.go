@@ -8,54 +8,63 @@ import (
 )
 
 // BenchmarkRPCPlace measures the batch placement endpoint over a real
-// loopback TCP connection: concurrent clients each posting 64-job
-// batches through the full stack (JSON encode, HTTP, admission,
-// sharded batch inference, JSON decode). The jobs/sec metric is the
-// placement throughput the BENCH_rpc.json baseline records.
+// loopback TCP connection, one sub-benchmark per codec: concurrent
+// clients each posting 64-job batches through the full stack (codec
+// encode, HTTP, admission, sharded batch inference, codec decode).
+// The json variant pays two JSON codecs plus daemon-side feature
+// extraction per job; the binary variant pre-bins client-side and
+// ships fixed-width frames. The jobs/sec metric is the placement
+// throughput the BENCH_rpc.json baseline records.
 //
 // Re-record with:
 //
 //	go test -run '^$' -bench BenchmarkRPCPlace -benchtime=2s ./internal/rpc
 func BenchmarkRPCPlace(b *testing.B) {
-	fx := testFixture(b)
-	reg := fx.newRegistry(b)
-	cfg := DefaultConfig(testCategories)
-	d, err := NewDaemon(reg, "w", fx.cm, cfg)
-	if err != nil {
-		b.Fatal(err)
-	}
-	if err := d.Start("127.0.0.1:0"); err != nil {
-		b.Fatal(err)
-	}
-	defer func() {
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-		defer cancel()
-		_ = d.Shutdown(ctx)
-	}()
-
-	const chunk = 64
-	var cursor atomic.Int64
-	jobs := fx.jobs
-	b.ResetTimer()
-	b.RunParallel(func(pb *testing.PB) {
-		c, err := NewClient(DefaultClientConfig(d.BaseURL()))
-		if err != nil {
-			b.Error(err)
-			return
-		}
-		defer c.Close()
-		ctx := context.Background()
-		for pb.Next() {
-			lo := int(cursor.Add(chunk)) % (len(jobs) - chunk)
-			if _, err := c.Place(ctx, jobs[lo:lo+chunk]); err != nil {
-				b.Error(err)
-				return
+	for _, codec := range []string{CodecJSON, CodecBinary} {
+		b.Run(codec, func(b *testing.B) {
+			fx := testFixture(b)
+			reg := fx.newRegistry(b)
+			cfg := DefaultConfig(testCategories)
+			d, err := NewDaemon(reg, "w", fx.cm, cfg)
+			if err != nil {
+				b.Fatal(err)
 			}
-		}
-	})
-	b.StopTimer()
-	elapsed := b.Elapsed()
-	if elapsed > 0 {
-		b.ReportMetric(float64(b.N*chunk)/elapsed.Seconds(), "jobs/sec")
+			if err := d.Start("127.0.0.1:0"); err != nil {
+				b.Fatal(err)
+			}
+			defer func() {
+				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+				defer cancel()
+				_ = d.Shutdown(ctx)
+			}()
+
+			const chunk = 64
+			var cursor atomic.Int64
+			jobs := fx.jobs
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				ccfg := DefaultClientConfig(d.BaseURL())
+				ccfg.Codec = codec
+				c, err := NewClient(ccfg)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				defer c.Close()
+				ctx := context.Background()
+				for pb.Next() {
+					lo := int(cursor.Add(chunk)) % (len(jobs) - chunk)
+					if _, err := c.Place(ctx, jobs[lo:lo+chunk]); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			elapsed := b.Elapsed()
+			if elapsed > 0 {
+				b.ReportMetric(float64(b.N*chunk)/elapsed.Seconds(), "jobs/sec")
+			}
+		})
 	}
 }

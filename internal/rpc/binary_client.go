@@ -1,0 +1,276 @@
+package rpc
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/features"
+	"repro/internal/rpc/wire"
+	"repro/internal/serve"
+	"repro/internal/trace"
+)
+
+// clientBinState is the client's cached view of the daemon's active
+// model: the feature encoder and lossless bin schema pinned to one
+// model version. It is immutable once published; a 409 from the daemon
+// (hot swap) replaces the whole struct.
+type clientBinState struct {
+	version int
+	enc     *features.Encoder
+	binner  *features.Binner
+	nf      int
+}
+
+// clientScratch pools the binary place path's per-call buffers: one
+// feature row, the bin backing array, the parallel request columns, the
+// encoded frame, the response body and its decoded form. Steady-state
+// binary placement reuses all of them.
+type clientScratch struct {
+	row      []float64
+	backing  []uint16
+	rows     [][]uint16
+	hashes   []uint32
+	arrivals []float64
+	frame    []byte
+	body     []byte
+	bresp    wire.BinaryPlaceResponse
+}
+
+// binaryState returns the cached bin state, fetching it from /v1/model
+// on first use. A nil state with nil error means the daemon is
+// JSON-only and the client has latched its fallback.
+func (c *Client) binaryState(ctx context.Context) (*clientBinState, error) {
+	if st := c.binState.Load(); st != nil {
+		return st, nil
+	}
+	return c.refreshBinState(ctx)
+}
+
+// refreshBinState re-fetches /v1/model and rebuilds the encoder and
+// binner — on startup and again whenever the daemon answers 409 (the
+// rows were binned against edges a hot swap retired).
+func (c *Client) refreshBinState(ctx context.Context) (*clientBinState, error) {
+	info, err := c.ModelInfo(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if !info.Binary {
+		c.jsonOnly.Store(true)
+		return nil, nil
+	}
+	if info.Encoder == nil {
+		return nil, fmt.Errorf("rpc: daemon advertises binary but ships no encoder")
+	}
+	if err := info.Encoder.Finalize(); err != nil {
+		return nil, fmt.Errorf("rpc: model encoder: %w", err)
+	}
+	binner, err := features.NewBinner(info.BinEdges, info.BinCards)
+	if err != nil {
+		return nil, fmt.Errorf("rpc: model bin schema: %w", err)
+	}
+	nf := info.NumFeatures
+	if binner.NumFeatures() != nf || info.Encoder.NumFeatures() != nf {
+		return nil, fmt.Errorf("rpc: model schema mismatch: %d features declared, binner has %d, encoder has %d",
+			nf, binner.NumFeatures(), info.Encoder.NumFeatures())
+	}
+	st := &clientBinState{version: info.ModelVersion, enc: info.Encoder, binner: binner, nf: nf}
+	c.binState.Store(st)
+	return st, nil
+}
+
+// encodeBinaryPlace fills sc with the request columns for jobs under
+// st's schema and appends the complete request frame into sc.frame.
+func encodeBinaryPlace(st *clientBinState, jobs []*trace.Job, sc *clientScratch) error {
+	n, nf := len(jobs), st.nf
+	if cap(sc.backing) < n*nf {
+		sc.backing = make([]uint16, n*nf)
+	}
+	if cap(sc.rows) < n {
+		sc.rows = make([][]uint16, n)
+	}
+	if cap(sc.hashes) < n {
+		sc.hashes = make([]uint32, n)
+	}
+	if cap(sc.arrivals) < n {
+		sc.arrivals = make([]float64, n)
+	}
+	sc.rows, sc.hashes, sc.arrivals = sc.rows[:n], sc.hashes[:n], sc.arrivals[:n]
+	for i, j := range jobs {
+		if j == nil {
+			return fmt.Errorf("rpc: job %d is nil", i)
+		}
+		if err := j.Validate(); err != nil {
+			return fmt.Errorf("rpc: job %d: %w", i, err)
+		}
+		// Feature extraction and binning happen here, on the client —
+		// the daemon sees only bins and never touches strings.
+		sc.row = st.enc.Encode(j, sc.row)
+		sc.rows[i] = st.binner.Bin(sc.row, sc.backing[i*nf:i*nf:(i+1)*nf])
+		sc.hashes[i] = serve.TemplateHash(j)
+		sc.arrivals[i] = j.ArrivalSec
+	}
+	var err error
+	sc.frame, err = wire.AppendPlaceRequestFrame(sc.frame[:0], st.version, nf, sc.hashes, sc.arrivals, sc.rows)
+	return err
+}
+
+// placeBinary runs one binary place operation. handled is false when
+// the daemon turns out to be JSON-only (the caller then takes the JSON
+// path); otherwise the result is final. Sheds retry with the same
+// policy as the JSON path; a 409 (model hot swap) re-fetches the bin
+// schema, re-bins, and retries.
+func (c *Client) placeBinary(ctx context.Context, jobs []*trace.Job) (decisions []wire.Decision, handled bool, err error) {
+	if len(jobs) == 0 {
+		c.requests.Add(1)
+		c.failures.Add(1)
+		return nil, true, fmt.Errorf("rpc: place request has no jobs")
+	}
+	st, err := c.binaryState(ctx)
+	if err != nil {
+		c.requests.Add(1)
+		c.failures.Add(1)
+		return nil, true, err
+	}
+	if st == nil {
+		return nil, false, nil // JSON-only daemon
+	}
+	c.requests.Add(1)
+	sc := c.scratch.Get().(*clientScratch)
+	defer c.scratch.Put(sc)
+	if err := encodeBinaryPlace(st, jobs, sc); err != nil {
+		c.failures.Add(1)
+		return nil, true, err
+	}
+	backoff := c.cfg.RetryBackoff
+	swaps := 0
+	for attempt := 0; ; attempt++ {
+		status, err := c.attemptBinary(ctx, sc)
+		switch {
+		case err == nil:
+			if len(sc.bresp.Decisions) != len(jobs) {
+				c.failures.Add(1)
+				return nil, true, fmt.Errorf("rpc: got %d decisions for %d jobs", len(sc.bresp.Decisions), len(jobs))
+			}
+			// Copy out of the pooled scratch and restore the job IDs the
+			// binary codec elides (responses answer rows in order).
+			out := make([]wire.Decision, len(jobs))
+			copy(out, sc.bresp.Decisions)
+			for i := range out {
+				out[i].JobID = jobs[i].ID
+			}
+			return out, true, nil
+		case status == http.StatusUnsupportedMediaType:
+			// Binary disabled on the daemon: latch JSON for good.
+			c.jsonOnly.Store(true)
+			c.requests.Add(-1) // the JSON path will re-count this op
+			return nil, false, nil
+		case status == http.StatusConflict:
+			// Our bins chase a retired model version. Refresh and re-bin;
+			// allow a couple of chases in case publishes race the retry.
+			if swaps++; swaps > 2 {
+				c.failures.Add(1)
+				return nil, true, fmt.Errorf("rpc: model version still moving after %d refreshes: %w", swaps-1, err)
+			}
+			st, rerr := c.refreshBinState(ctx)
+			if rerr != nil || st == nil {
+				c.failures.Add(1)
+				if rerr == nil {
+					rerr = fmt.Errorf("rpc: daemon stopped speaking binary mid-operation")
+				}
+				return nil, true, rerr
+			}
+			if err := encodeBinaryPlace(st, jobs, sc); err != nil {
+				c.failures.Add(1)
+				return nil, true, err
+			}
+			continue
+		case status != http.StatusTooManyRequests:
+			c.failures.Add(1)
+			return nil, true, err
+		}
+		c.sheds.Add(1)
+		if attempt >= c.cfg.MaxRetries {
+			c.failures.Add(1)
+			return nil, true, fmt.Errorf("rpc: POST %s still shed after %d retries: %w", wire.PathPlace, attempt, err)
+		}
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			c.failures.Add(1)
+			return nil, true, ctx.Err()
+		}
+		if backoff < time.Second {
+			backoff *= 2
+		}
+		c.retries.Add(1)
+	}
+}
+
+// attemptBinary sends sc.frame as one binary place request and decodes
+// the binary response into sc.bresp. It returns the HTTP status (0 on
+// transport errors) alongside any error.
+func (c *Client) attemptBinary(ctx context.Context, sc *clientScratch) (int, error) {
+	actx, cancel := context.WithTimeout(ctx, c.cfg.RequestTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(actx, http.MethodPost, c.cfg.BaseURL+wire.PathPlace, bytes.NewReader(sc.frame))
+	if err != nil {
+		return 0, fmt.Errorf("rpc: %w", err)
+	}
+	req.Header.Set("Content-Type", wire.ContentTypeBinary)
+	req.Header.Set("Accept", wire.ContentTypeBinary)
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return 0, fmt.Errorf("rpc: %w", err)
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+	}()
+	sc.body, err = readBody(resp.Body, sc.body[:0])
+	if err != nil {
+		return resp.StatusCode, fmt.Errorf("rpc: reading response: %w", err)
+	}
+	if resp.StatusCode/100 != 2 {
+		return resp.StatusCode, decodeWireError(resp.StatusCode, sc.body)
+	}
+	ft, payload, err := wire.DecodeFrame(sc.body, 0)
+	if err != nil {
+		return resp.StatusCode, fmt.Errorf("rpc: %w", err)
+	}
+	switch ft {
+	case wire.FramePlaceResponse:
+		if err := wire.DecodePlaceResponse(payload, &sc.bresp, 0); err != nil {
+			return resp.StatusCode, fmt.Errorf("rpc: %w", err)
+		}
+		return resp.StatusCode, nil
+	case wire.FrameError:
+		code, msg, derr := wire.DecodeError(payload)
+		if derr != nil {
+			return resp.StatusCode, fmt.Errorf("rpc: %w", derr)
+		}
+		return resp.StatusCode, fmt.Errorf("rpc: daemon error %d: %s", code, msg)
+	default:
+		return resp.StatusCode, fmt.Errorf("rpc: unexpected frame type %d in place response", ft)
+	}
+}
+
+// decodeWireError turns a non-2xx response body — a binary error frame
+// or a JSON ErrorResponse, depending on what the daemon negotiated —
+// into a descriptive error.
+func decodeWireError(status int, body []byte) error {
+	if ft, payload, err := wire.DecodeFrame(body, 0); err == nil && ft == wire.FrameError {
+		if code, msg, derr := wire.DecodeError(payload); derr == nil {
+			return fmt.Errorf("rpc: POST %s: %s (%d, code %d)", wire.PathPlace, msg, status, code)
+		}
+	}
+	var e wire.ErrorResponse
+	if derr := json.Unmarshal(body, &e); derr == nil && e.Error != "" {
+		return fmt.Errorf("rpc: POST %s: %s (%d)", wire.PathPlace, e.Error, status)
+	}
+	return fmt.Errorf("rpc: POST %s: status %d", wire.PathPlace, status)
+}

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -16,10 +17,23 @@ import (
 	"repro/internal/trace"
 )
 
+// Codec names for ClientConfig.Codec.
+const (
+	// CodecJSON selects the JSON request/response codec (the default).
+	CodecJSON = "json"
+	// CodecBinary selects the binary frame codec with client-side
+	// feature extraction and pre-binning. The client fetches the bin
+	// schema from /v1/model once (and again after each hot swap), and
+	// falls back to JSON permanently if the daemon doesn't speak binary.
+	CodecBinary = "binary"
+)
+
 // ClientConfig tunes a placement client.
 type ClientConfig struct {
 	// BaseURL is the daemon's root URL, e.g. "http://10.0.0.7:7070".
 	BaseURL string
+	// Codec picks the place codec: CodecJSON (default) or CodecBinary.
+	Codec string
 	// RequestTimeout is the per-request deadline, applied per attempt
 	// on top of any caller context (default 2 s).
 	RequestTimeout time.Duration
@@ -67,6 +81,14 @@ type Client struct {
 	sheds    atomic.Int64
 	retries  atomic.Int64
 	failures atomic.Int64
+
+	// Binary-codec state: the model's bin schema + encoder, pinned to a
+	// version and refreshed on 409; jsonOnly latches the permanent JSON
+	// fallback against daemons that don't speak binary; scratch pools
+	// the per-call encode/decode buffers.
+	binState atomic.Pointer[clientBinState]
+	jsonOnly atomic.Bool
+	scratch  sync.Pool
 }
 
 // NewClient builds a client for the daemon at cfg.BaseURL.
@@ -87,6 +109,11 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	if cfg.RetryBackoff <= 0 {
 		cfg.RetryBackoff = 2 * time.Millisecond
 	}
+	switch cfg.Codec {
+	case "", CodecJSON, CodecBinary:
+	default:
+		return nil, fmt.Errorf("rpc: unknown codec %q (want %q or %q)", cfg.Codec, CodecJSON, CodecBinary)
+	}
 	rt := cfg.Transport
 	if rt == nil {
 		// The stdlib default of 2 idle conns per host forces reconnects
@@ -97,11 +124,21 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 			IdleConnTimeout:     90 * time.Second,
 		}
 	}
-	return &Client{cfg: cfg, hc: &http.Client{Transport: rt}}, nil
+	c := &Client{cfg: cfg, hc: &http.Client{Transport: rt}}
+	c.scratch.New = func() any { return &clientScratch{} }
+	return c, nil
 }
 
 // Place requests decisions for a batch of jobs, in order.
 func (c *Client) Place(ctx context.Context, jobs []*trace.Job) ([]wire.Decision, error) {
+	if c.cfg.Codec == CodecBinary && !c.jsonOnly.Load() {
+		decisions, handled, err := c.placeBinary(ctx, jobs)
+		if handled {
+			return decisions, err
+		}
+		// The daemon doesn't speak binary; fall through to JSON, now
+		// latched for the client's lifetime.
+	}
 	var resp wire.PlaceResponse
 	err := c.do(ctx, http.MethodPost, wire.PathPlace, wire.PlaceRequest{Jobs: jobs}, &resp)
 	if err != nil {

@@ -23,12 +23,16 @@
 package rpc
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
+	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -63,6 +67,11 @@ type Config struct {
 	// daemon does not manage the learner's lifecycle; /varz gains its
 	// online_* counters.
 	Learner *online.Learner
+	// DisableBinary turns off the binary frame codec and the stream
+	// endpoint: binary requests get 415, and /v1/model omits the bin
+	// schema — the daemon then behaves exactly like a pre-binary
+	// JSON-only build (used by the compatibility tests).
+	DisableBinary bool
 }
 
 // DefaultConfig returns daemon parameters for an N-category model:
@@ -105,11 +114,30 @@ type Daemon struct {
 	place    *admission
 	outcome  *admission
 	draining atomic.Bool
+	// scratch pools the binary hot path's per-request state (decode
+	// buffers, decision scratch, response buffer), so a steady-state
+	// place request allocates nothing in the handler.
+	scratch sync.Pool
+
+	// Hijacked stream connections are invisible to http.Server.Shutdown,
+	// so the daemon tracks them itself and drains them explicitly.
+	streamMu    sync.Mutex
+	streamConns map[net.Conn]struct{}
+	streamWG    sync.WaitGroup
 
 	http     *http.Server
 	listener net.Listener
 	served   chan struct{} // closed when the accept loop exits
 	serveErr error
+}
+
+// placeScratch is the pooled per-request state of the binary place path.
+type placeScratch struct {
+	body      []byte
+	breq      wire.BinaryPlaceRequest
+	decisions []serve.Decision
+	wdecs     []wire.Decision
+	out       []byte
 }
 
 // NewDaemon builds a daemon serving the workload's active model from
@@ -127,13 +155,15 @@ func NewDaemon(reg *registry.Registry, workload string, cm *cost.Model, cfg Conf
 		return nil, err
 	}
 	d := &Daemon{
-		cfg:      cfg,
-		workload: workload,
-		srv:      srv,
-		place:    newAdmission(cfg.MaxInFlightPlace, cfg.QueueDeadline),
-		outcome:  newAdmission(cfg.MaxInFlightOutcome, cfg.QueueDeadline),
-		served:   make(chan struct{}),
+		cfg:         cfg,
+		workload:    workload,
+		srv:         srv,
+		place:       newAdmission(cfg.MaxInFlightPlace, cfg.QueueDeadline),
+		outcome:     newAdmission(cfg.MaxInFlightOutcome, cfg.QueueDeadline),
+		streamConns: map[net.Conn]struct{}{},
+		served:      make(chan struct{}),
 	}
+	d.scratch.New = func() any { return &placeScratch{} }
 	d.http = &http.Server{Handler: d.Handler()}
 	return d, nil
 }
@@ -145,6 +175,7 @@ func (d *Daemon) Handler() http.Handler {
 	mux.HandleFunc(wire.PathPlace, d.handlePlace)
 	mux.HandleFunc(wire.PathOutcome, d.handleOutcome)
 	mux.HandleFunc(wire.PathModel, d.handleModel)
+	mux.HandleFunc(wire.PathStream, d.handleStream)
 	mux.HandleFunc(wire.PathHealth, d.handleHealth)
 	mux.HandleFunc(wire.PathVarz, d.handleVarz)
 	return mux
@@ -196,6 +227,26 @@ func (d *Daemon) Shutdown(ctx context.Context) error {
 			first = d.serveErr
 		}
 	}
+	// Hijacked stream connections are outside http.Shutdown's watch:
+	// expire their blocked reads so each session finishes its in-flight
+	// frame and exits, then wait for them (bounded by ctx).
+	d.streamMu.Lock()
+	for conn := range d.streamConns {
+		_ = conn.SetReadDeadline(time.Now())
+	}
+	d.streamMu.Unlock()
+	streamsDone := make(chan struct{})
+	go func() {
+		d.streamWG.Wait()
+		close(streamsDone)
+	}()
+	select {
+	case <-streamsDone:
+	case <-ctx.Done():
+		if first == nil {
+			first = ctx.Err()
+		}
+	}
 	if err := d.srv.Close(); err != nil && first == nil {
 		first = err
 	}
@@ -211,26 +262,57 @@ func (d *Daemon) ServeStats() metrics.ShardSnapshot { return d.srv.Stats() }
 // ModelVersion returns the currently serving registry version number.
 func (d *Daemon) ModelVersion() int { return d.srv.ModelVersion() }
 
-// modelInfo assembles the /v1/model payload.
+// modelInfo assembles the /v1/model payload. The binning schema and
+// encoder ride along (unless binary is disabled), so one fetch equips a
+// client for local feature extraction + pre-binning.
 func (d *Daemon) modelInfo() wire.ModelInfo {
-	return wire.ModelInfo{
+	info := wire.ModelInfo{
 		Workload:      d.workload,
 		ModelVersion:  d.srv.ModelVersion(),
 		NumCategories: d.cfg.Serve.Adaptive.NumCategories,
 		Shards:        d.cfg.Serve.Shards,
 		Swaps:         d.srv.Swaps(),
 	}
+	if !d.cfg.DisableBinary {
+		enc, binner, version := d.srv.WireModel()
+		info.Binary = true
+		info.ModelVersion = version
+		info.NumFeatures = binner.NumFeatures()
+		info.BinEdges = binner.Edges
+		info.BinCards = binner.Cards
+		info.Encoder = enc
+	}
+	return info
 }
 
-// handlePlace serves POST /v1/place: single and batch placement.
+// isBinaryRequest reports whether the request body is a binary frame.
+func isBinaryRequest(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Content-Type"), wire.ContentTypeBinary)
+}
+
+// wantsBinary reports whether the client's Accept header names the
+// binary media type. Anything else — absent, */*, unknown — selects the
+// JSON fallback, so old clients and curl keep working untouched.
+func wantsBinary(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Accept"), wire.ContentTypeBinary)
+}
+
+// handlePlace serves POST /v1/place: single and batch placement, in
+// either codec. Content-Type picks the request codec; Accept picks the
+// response codec (binary responses only follow binary requests — the
+// JSON path carries job IDs the binary frames don't).
 func (d *Daemon) handlePlace(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	if r.Method != http.MethodPost {
-		d.methodNotAllowed(w)
+		d.methodNotAllowed(w, r)
+		return
+	}
+	if isBinaryRequest(r) {
+		d.handlePlaceBinary(w, r, start)
 		return
 	}
 	if !d.place.acquire(r.Context()) {
-		d.shed(w)
+		d.shed(w, r)
 		return
 	}
 	defer d.place.release()
@@ -239,12 +321,12 @@ func (d *Daemon) handlePlace(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := req.Validate(d.cfg.MaxBatch); err != nil {
-		d.badRequest(w, err)
+		d.badRequest(w, r, err)
 		return
 	}
 	decisions, err := d.srv.SubmitBatch(req.Jobs, nil)
 	if err != nil {
-		d.serverError(w, err)
+		d.serverError(w, r, err)
 		return
 	}
 	resp := wire.PlaceResponse{Decisions: make([]wire.Decision, len(decisions))}
@@ -259,8 +341,103 @@ func (d *Daemon) handlePlace(w http.ResponseWriter, r *http.Request) {
 	}
 	// Count before the response bytes go out: a client that reads its
 	// response and immediately scrapes /varz must see itself counted.
-	d.counters.RecordPlace(len(req.Jobs), time.Since(start))
+	d.counters.RecordPlace(false, len(req.Jobs), time.Since(start))
 	d.writeJSON(w, http.StatusOK, resp)
+}
+
+// handlePlaceBinary serves the binary frame path of /v1/place: body
+// read, frame decode, SubmitEncoded, frame encode — all through pooled
+// scratch, with no per-job feature work anywhere.
+func (d *Daemon) handlePlaceBinary(w http.ResponseWriter, r *http.Request, start time.Time) {
+	if d.cfg.DisableBinary {
+		d.counters.RecordBadRequest()
+		d.writeError(w, r, http.StatusUnsupportedMediaType, wire.ErrCodeBadRequest, "binary codec disabled; use application/json")
+		return
+	}
+	if !d.place.acquire(r.Context()) {
+		d.shed(w, r)
+		return
+	}
+	defer d.place.release()
+	sc := d.scratch.Get().(*placeScratch)
+	defer d.scratch.Put(sc)
+	body, err := readBody(http.MaxBytesReader(w, r.Body, d.cfg.MaxBodyBytes), sc.body[:0])
+	sc.body = body
+	if err != nil {
+		d.badRequest(w, r, fmt.Errorf("reading request: %w", err))
+		return
+	}
+	ft, payload, err := wire.DecodeFrame(body, int(d.cfg.MaxBodyBytes))
+	if err != nil {
+		d.badRequest(w, r, err)
+		return
+	}
+	if ft != wire.FramePlaceRequest {
+		d.badRequest(w, r, fmt.Errorf("wire: expected place-request frame, got type %d", ft))
+		return
+	}
+	if err := wire.DecodePlaceRequest(payload, &sc.breq, d.cfg.MaxBatch); err != nil {
+		d.badRequest(w, r, err)
+		return
+	}
+	sc.decisions, err = d.srv.SubmitEncoded(sc.breq.ModelVersion, sc.breq.Hashes, sc.breq.Arrivals, sc.breq.Rows, sc.decisions)
+	if err != nil {
+		if errors.Is(err, serve.ErrModelVersion) {
+			d.counters.RecordBadRequest()
+			d.writeError(w, r, http.StatusConflict, wire.ErrCodeModelVersion, err.Error())
+			return
+		}
+		d.serverError(w, r, err)
+		return
+	}
+	sc.wdecs = appendWireDecisions(sc.wdecs[:0], sc.decisions)
+	if wantsBinary(r) {
+		sc.out, err = wire.AppendPlaceResponseFrame(sc.out[:0], sc.breq.ModelVersion, sc.wdecs)
+		if err != nil {
+			d.serverError(w, r, err)
+			return
+		}
+		d.counters.RecordPlace(true, len(sc.breq.Rows), time.Since(start))
+		w.Header().Set("Content-Type", wire.ContentTypeBinary)
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(sc.out)
+		return
+	}
+	// Binary request, JSON response (debug asymmetry). Job IDs never
+	// crossed the wire, so decisions are matched by order alone.
+	d.counters.RecordPlace(true, len(sc.breq.Rows), time.Since(start))
+	d.writeJSON(w, http.StatusOK, wire.PlaceResponse{Decisions: sc.wdecs})
+}
+
+// appendWireDecisions converts serve decisions to wire decisions
+// (JobID left empty) into dst.
+func appendWireDecisions(dst []wire.Decision, decisions []serve.Decision) []wire.Decision {
+	for _, dec := range decisions {
+		dst = append(dst, wire.Decision{
+			Admit:        dec.Admit,
+			Category:     dec.Category,
+			ModelVersion: dec.ModelVersion,
+			Shard:        dec.Shard,
+		})
+	}
+	return dst
+}
+
+// readBody reads r fully into buf (reused; grown as needed).
+func readBody(r io.Reader, buf []byte) ([]byte, error) {
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := r.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			return buf, nil
+		}
+		if err != nil {
+			return buf, err
+		}
+	}
 }
 
 // handleOutcome serves POST /v1/outcome: spillover feedback routed to
@@ -268,11 +445,11 @@ func (d *Daemon) handlePlace(w http.ResponseWriter, r *http.Request) {
 func (d *Daemon) handleOutcome(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	if r.Method != http.MethodPost {
-		d.methodNotAllowed(w)
+		d.methodNotAllowed(w, r)
 		return
 	}
 	if !d.outcome.acquire(r.Context()) {
-		d.shed(w)
+		d.shed(w, r)
 		return
 	}
 	defer d.outcome.release()
@@ -281,7 +458,7 @@ func (d *Daemon) handleOutcome(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := req.Validate(); err != nil {
-		d.badRequest(w, err)
+		d.badRequest(w, r, err)
 		return
 	}
 	o := sim.Outcome{
@@ -291,7 +468,7 @@ func (d *Daemon) handleOutcome(w http.ResponseWriter, r *http.Request) {
 		EvictedAt: req.Outcome.EvictedAt,
 	}
 	if err := d.srv.Observe(req.Job, o); err != nil {
-		d.serverError(w, err)
+		d.serverError(w, r, err)
 		return
 	}
 	if d.cfg.Learner != nil {
@@ -301,10 +478,11 @@ func (d *Daemon) handleOutcome(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
-// handleModel serves GET /v1/model: active-model metadata.
+// handleModel serves GET /v1/model: active-model metadata plus the
+// client-side binning schema.
 func (d *Daemon) handleModel(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		d.methodNotAllowed(w)
+		d.methodNotAllowed(w, r)
 		return
 	}
 	d.counters.RecordModelInfo()
@@ -335,39 +513,194 @@ func (d *Daemon) handleVarz(w http.ResponseWriter, r *http.Request) {
 	writeVarz(w, d.modelInfo(), d.counters.Snapshot(), d.srv.Stats(), onl)
 }
 
+// handleStream serves POST /v1/stream: the persistent binary streaming
+// mode. The daemon hijacks the connection, answers 101 Switching
+// Protocols, and then speaks length-prefixed place frames in both
+// directions until the client closes or the daemon drains. Each
+// incoming frame takes a place-admission slot, so streams share the
+// same overload envelope as request/response traffic.
+func (d *Daemon) handleStream(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		d.methodNotAllowed(w, r)
+		return
+	}
+	if d.cfg.DisableBinary {
+		d.counters.RecordBadRequest()
+		d.writeError(w, r, http.StatusNotFound, wire.ErrCodeBadRequest, "streaming disabled")
+		return
+	}
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		d.serverError(w, r, fmt.Errorf("rpc: transport does not support streaming"))
+		return
+	}
+	conn, rw, err := hj.Hijack()
+	if err != nil {
+		d.serverError(w, r, fmt.Errorf("rpc: hijack: %w", err))
+		return
+	}
+	d.streamMu.Lock()
+	if d.draining.Load() {
+		d.streamMu.Unlock()
+		_ = conn.Close()
+		return
+	}
+	d.streamConns[conn] = struct{}{}
+	d.streamWG.Add(1)
+	d.streamMu.Unlock()
+	// The hijacked connection may carry an http.Server read deadline;
+	// streams live until drain expires them explicitly.
+	_ = conn.SetReadDeadline(time.Time{})
+	if _, err := rw.WriteString("HTTP/1.1 101 Switching Protocols\r\nUpgrade: " + wire.ContentTypeBinary + "\r\nConnection: Upgrade\r\n\r\n"); err == nil {
+		err = rw.Flush()
+	}
+	if err != nil {
+		d.dropStream(conn)
+		return
+	}
+	d.counters.RecordStreamSession()
+	d.serveStream(conn, rw)
+}
+
+// dropStream unregisters and closes one stream connection.
+func (d *Daemon) dropStream(conn net.Conn) {
+	d.streamMu.Lock()
+	delete(d.streamConns, conn)
+	d.streamMu.Unlock()
+	_ = conn.Close()
+	d.streamWG.Done()
+}
+
+// serveStream is one stream session's frame loop, run on the hijacked
+// handler goroutine with pooled scratch: read a place-request frame,
+// serve it, write the response (or error) frame, repeat. Responses are
+// written in frame order, so clients may pipeline requests without
+// waiting. Recoverable per-frame failures (bad payload, shed, stale
+// version) answer with an error frame and keep the session alive —
+// framing stays intact; transport errors end the session.
+func (d *Daemon) serveStream(conn net.Conn, rw *bufio.ReadWriter) {
+	defer d.dropStream(conn)
+	sc := d.scratch.Get().(*placeScratch)
+	defer d.scratch.Put(sc)
+	for {
+		start := time.Now()
+		ft, buf, payload, err := wire.ReadFrame(rw.Reader, sc.body, int(d.cfg.MaxBodyBytes))
+		sc.body = buf
+		if err != nil {
+			if err != io.EOF {
+				// Framing is unrecoverable: report best-effort, close.
+				d.counters.RecordBadRequest()
+				_ = d.writeStreamError(rw, wire.ErrCodeBadRequest, err.Error())
+			}
+			return
+		}
+		if ft != wire.FramePlaceRequest {
+			d.counters.RecordBadRequest()
+			_ = d.writeStreamError(rw, wire.ErrCodeBadRequest, fmt.Sprintf("wire: expected place-request frame, got type %d", ft))
+			return
+		}
+		if err := wire.DecodePlaceRequest(payload, &sc.breq, d.cfg.MaxBatch); err != nil {
+			d.counters.RecordBadRequest()
+			if d.writeStreamError(rw, wire.ErrCodeBadRequest, err.Error()) != nil {
+				return
+			}
+			continue
+		}
+		if !d.place.acquire(context.Background()) {
+			d.counters.RecordShed()
+			if d.writeStreamError(rw, wire.ErrCodeOverloaded, "overloaded: in-flight limit reached past queue deadline") != nil {
+				return
+			}
+			continue
+		}
+		sc.decisions, err = d.srv.SubmitEncoded(sc.breq.ModelVersion, sc.breq.Hashes, sc.breq.Arrivals, sc.breq.Rows, sc.decisions)
+		d.place.release()
+		if err != nil {
+			code := wire.ErrCodeServer
+			if errors.Is(err, serve.ErrModelVersion) {
+				code = wire.ErrCodeModelVersion
+				d.counters.RecordBadRequest()
+			} else {
+				d.counters.RecordServerError()
+			}
+			if d.writeStreamError(rw, code, err.Error()) != nil {
+				return
+			}
+			continue
+		}
+		sc.wdecs = appendWireDecisions(sc.wdecs[:0], sc.decisions)
+		sc.out, err = wire.AppendPlaceResponseFrame(sc.out[:0], sc.breq.ModelVersion, sc.wdecs)
+		if err != nil {
+			d.counters.RecordServerError()
+			if d.writeStreamError(rw, wire.ErrCodeServer, err.Error()) != nil {
+				return
+			}
+			continue
+		}
+		if _, err := rw.Write(sc.out); err != nil {
+			return
+		}
+		if err := rw.Flush(); err != nil {
+			return
+		}
+		d.counters.RecordStreamFrame()
+		d.counters.RecordPlace(true, len(sc.breq.Rows), time.Since(start))
+	}
+}
+
+// writeStreamError sends one error frame on a stream session.
+func (d *Daemon) writeStreamError(rw *bufio.ReadWriter, code uint16, msg string) error {
+	if _, err := rw.Write(wire.AppendErrorFrame(nil, code, msg)); err != nil {
+		return err
+	}
+	return rw.Flush()
+}
+
 // decode reads and unmarshals a JSON request body, answering 400 and
 // counting a bad request on failure.
 func (d *Daemon) decode(w http.ResponseWriter, r *http.Request, into any) bool {
 	body := http.MaxBytesReader(w, r.Body, d.cfg.MaxBodyBytes)
 	if err := json.NewDecoder(body).Decode(into); err != nil {
-		d.badRequest(w, fmt.Errorf("decoding request: %w", err))
+		d.badRequest(w, r, fmt.Errorf("decoding request: %w", err))
 		return false
 	}
 	return true
 }
 
-func (d *Daemon) shed(w http.ResponseWriter) {
+// writeError answers a failed request in the negotiated codec: an error
+// frame for binary-accepting clients, the JSON ErrorResponse otherwise.
+func (d *Daemon) writeError(w http.ResponseWriter, r *http.Request, status int, code uint16, msg string) {
+	if wantsBinary(r) && !d.cfg.DisableBinary {
+		w.Header().Set("Content-Type", wire.ContentTypeBinary)
+		w.WriteHeader(status)
+		_, _ = w.Write(wire.AppendErrorFrame(nil, code, msg))
+		return
+	}
+	d.writeJSON(w, status, wire.ErrorResponse{Error: msg})
+}
+
+func (d *Daemon) shed(w http.ResponseWriter, r *http.Request) {
 	d.counters.RecordShed()
 	// Guidance for stock HTTP clients; rpc.Client uses its own finer
 	// backoff. Retry-After takes whole seconds, so 1 is the minimum
 	// honest value.
 	w.Header().Set("Retry-After", "1")
-	d.writeJSON(w, http.StatusTooManyRequests, wire.ErrorResponse{Error: "overloaded: in-flight limit reached past queue deadline"})
+	d.writeError(w, r, http.StatusTooManyRequests, wire.ErrCodeOverloaded, "overloaded: in-flight limit reached past queue deadline")
 }
 
-func (d *Daemon) badRequest(w http.ResponseWriter, err error) {
+func (d *Daemon) badRequest(w http.ResponseWriter, r *http.Request, err error) {
 	d.counters.RecordBadRequest()
-	d.writeJSON(w, http.StatusBadRequest, wire.ErrorResponse{Error: err.Error()})
+	d.writeError(w, r, http.StatusBadRequest, wire.ErrCodeBadRequest, err.Error())
 }
 
-func (d *Daemon) serverError(w http.ResponseWriter, err error) {
+func (d *Daemon) serverError(w http.ResponseWriter, r *http.Request, err error) {
 	d.counters.RecordServerError()
-	d.writeJSON(w, http.StatusServiceUnavailable, wire.ErrorResponse{Error: err.Error()})
+	d.writeError(w, r, http.StatusServiceUnavailable, wire.ErrCodeServer, err.Error())
 }
 
-func (d *Daemon) methodNotAllowed(w http.ResponseWriter) {
+func (d *Daemon) methodNotAllowed(w http.ResponseWriter, r *http.Request) {
 	d.counters.RecordBadRequest()
-	d.writeJSON(w, http.StatusMethodNotAllowed, wire.ErrorResponse{Error: "method not allowed"})
+	d.writeError(w, r, http.StatusMethodNotAllowed, wire.ErrCodeBadRequest, "method not allowed")
 }
 
 func (d *Daemon) writeJSON(w http.ResponseWriter, status int, v any) {

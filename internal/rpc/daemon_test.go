@@ -178,10 +178,6 @@ func TestAdmissionShedAndRetry(t *testing.T) {
 	cfg := testConfig()
 	cfg.MaxInFlightPlace = 1
 	cfg.QueueDeadline = 0 // shed immediately when the slot is taken
-	// A large batch size plus long flush pins the in-flight request in
-	// the handler for ~the flush interval.
-	cfg.Serve.BatchSize = 1024
-	cfg.Serve.FlushInterval = 100 * time.Millisecond
 	d := startDaemon(t, fx.newRegistry(t), cfg)
 
 	ccfg := DefaultClientConfig(d.BaseURL())
@@ -192,6 +188,15 @@ func TestAdmissionShedAndRetry(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
+
+	// Occupy the single place slot directly: the drain flush means a
+	// lone request no longer camps in the handler for the flush
+	// interval, so the test creates the contention itself.
+	if !d.place.acquire(context.Background()) {
+		t.Fatal("could not take the place slot")
+	}
+	release := time.AfterFunc(50*time.Millisecond, d.place.release)
+	defer release.Stop()
 
 	const workers = 4
 	var wg sync.WaitGroup
@@ -263,9 +268,16 @@ func TestModelAndHealthEndpoints(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := wire.ModelInfo{Workload: "w", ModelVersion: 1, NumCategories: testCategories, Shards: 4}
-	if info != want {
-		t.Errorf("model info %+v, want %+v", info, want)
+	if info.Workload != "w" || info.ModelVersion != 1 || info.NumCategories != testCategories || info.Shards != 4 {
+		t.Errorf("model info %+v, want workload w / v1 / %d categories / 4 shards", info, testCategories)
+	}
+	if !info.Binary {
+		t.Errorf("model info does not advertise the binary codec: %+v", info)
+	}
+	if info.Encoder == nil || info.NumFeatures == 0 ||
+		len(info.BinEdges) != info.NumFeatures || len(info.BinCards) != info.NumFeatures {
+		t.Errorf("model info bin schema incomplete: %d features, %d edges, %d cards, encoder=%v",
+			info.NumFeatures, len(info.BinEdges), len(info.BinCards), info.Encoder != nil)
 	}
 
 	resp, err := http.Get(d.BaseURL() + wire.PathHealth)

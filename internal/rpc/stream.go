@@ -1,0 +1,237 @@
+package rpc
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"time"
+
+	"repro/internal/rpc/wire"
+	"repro/internal/trace"
+)
+
+// StreamSession is one persistent binary placement stream: a single
+// connection upgraded via POST /v1/stream, carrying length-prefixed
+// place frames in both directions — no per-batch HTTP overhead, no
+// per-batch connection work. Obtain one with Client.OpenStream.
+//
+// A session is NOT safe for concurrent use: it owns one connection and
+// one set of scratch buffers, and frames are matched to responses by
+// order. Open one session per submitting goroutine.
+type StreamSession struct {
+	c      *Client
+	conn   net.Conn
+	br     *bufio.Reader
+	bw     *bufio.Writer
+	sc     clientScratch
+	closed bool
+}
+
+// OpenStream dials the daemon and upgrades the connection to the
+// binary streaming mode. It fails if the daemon doesn't speak binary
+// (streaming has no JSON fallback — use Place).
+func (c *Client) OpenStream(ctx context.Context) (*StreamSession, error) {
+	st, err := c.binaryState(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if st == nil {
+		return nil, fmt.Errorf("rpc: daemon is JSON-only; streaming needs the binary codec")
+	}
+	host, ok := strings.CutPrefix(c.cfg.BaseURL, "http://")
+	if !ok {
+		return nil, fmt.Errorf("rpc: streaming supports http:// base URLs, got %q", c.cfg.BaseURL)
+	}
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", host)
+	if err != nil {
+		return nil, fmt.Errorf("rpc: dialing stream: %w", err)
+	}
+	s := &StreamSession{
+		c:    c,
+		conn: conn,
+		br:   bufio.NewReader(conn),
+		bw:   bufio.NewWriter(conn),
+	}
+	if deadline, ok := ctx.Deadline(); ok {
+		_ = conn.SetDeadline(deadline)
+	} else {
+		_ = conn.SetDeadline(time.Now().Add(c.cfg.RequestTimeout))
+	}
+	if err := s.handshake(host); err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	_ = conn.SetDeadline(time.Time{})
+	return s, nil
+}
+
+// handshake sends the upgrade request and consumes the 101 response.
+func (s *StreamSession) handshake(host string) error {
+	_, err := fmt.Fprintf(s.bw, "POST %s HTTP/1.1\r\nHost: %s\r\nContent-Length: 0\r\nConnection: Upgrade\r\nUpgrade: %s\r\n\r\n",
+		wire.PathStream, host, wire.ContentTypeBinary)
+	if err == nil {
+		err = s.bw.Flush()
+	}
+	if err != nil {
+		return fmt.Errorf("rpc: stream upgrade: %w", err)
+	}
+	status, err := s.br.ReadString('\n')
+	if err != nil {
+		return fmt.Errorf("rpc: stream upgrade: reading status: %w", err)
+	}
+	if !strings.Contains(status, " 101 ") {
+		return fmt.Errorf("rpc: stream upgrade refused: %s", strings.TrimSpace(status))
+	}
+	// Consume response headers up to the blank line; frames follow.
+	for {
+		line, err := s.br.ReadString('\n')
+		if err != nil {
+			return fmt.Errorf("rpc: stream upgrade: reading headers: %w", err)
+		}
+		if line == "\r\n" || line == "\n" {
+			return nil
+		}
+	}
+}
+
+// Place requests decisions for a batch of jobs over the stream, in
+// order. Client-side feature extraction and binning are identical to
+// the request/response binary path; a stale-version error frame (hot
+// swap) refreshes the bin schema and retries, and an overload error
+// frame retries with the client's shed backoff. Transport errors
+// poison the session — Close it and open a new one.
+func (s *StreamSession) Place(ctx context.Context, jobs []*trace.Job) ([]wire.Decision, error) {
+	c := s.c
+	c.requests.Add(1)
+	if s.closed {
+		c.failures.Add(1)
+		return nil, fmt.Errorf("rpc: stream session is closed")
+	}
+	if len(jobs) == 0 {
+		c.failures.Add(1)
+		return nil, fmt.Errorf("rpc: place request has no jobs")
+	}
+	st := c.binState.Load()
+	if st == nil {
+		c.failures.Add(1)
+		return nil, fmt.Errorf("rpc: stream session has no bin schema")
+	}
+	if err := encodeBinaryPlace(st, jobs, &s.sc); err != nil {
+		c.failures.Add(1)
+		return nil, err
+	}
+	backoff := c.cfg.RetryBackoff
+	swaps, sheds := 0, 0
+	for {
+		code, msg, err := s.exchange(ctx)
+		switch {
+		case err != nil:
+			s.closed = true
+			_ = s.conn.Close()
+			c.failures.Add(1)
+			return nil, err
+		case code == 0:
+			if len(s.sc.bresp.Decisions) != len(jobs) {
+				c.failures.Add(1)
+				return nil, fmt.Errorf("rpc: got %d decisions for %d jobs", len(s.sc.bresp.Decisions), len(jobs))
+			}
+			out := make([]wire.Decision, len(jobs))
+			copy(out, s.sc.bresp.Decisions)
+			for i := range out {
+				out[i].JobID = jobs[i].ID
+			}
+			return out, nil
+		case code == wire.ErrCodeModelVersion:
+			if swaps++; swaps > 2 {
+				c.failures.Add(1)
+				return nil, fmt.Errorf("rpc: model version still moving after %d refreshes: %s", swaps-1, msg)
+			}
+			st, rerr := c.refreshBinState(ctx)
+			if rerr != nil || st == nil {
+				c.failures.Add(1)
+				if rerr == nil {
+					rerr = fmt.Errorf("rpc: daemon stopped speaking binary mid-stream")
+				}
+				return nil, rerr
+			}
+			if err := encodeBinaryPlace(st, jobs, &s.sc); err != nil {
+				c.failures.Add(1)
+				return nil, err
+			}
+		case code == wire.ErrCodeOverloaded:
+			c.sheds.Add(1)
+			if sheds++; sheds > c.cfg.MaxRetries {
+				c.failures.Add(1)
+				return nil, fmt.Errorf("rpc: stream place still shed after %d retries: %s", sheds-1, msg)
+			}
+			select {
+			case <-time.After(backoff):
+			case <-ctx.Done():
+				c.failures.Add(1)
+				return nil, ctx.Err()
+			}
+			if backoff < time.Second {
+				backoff *= 2
+			}
+			c.retries.Add(1)
+		default:
+			c.failures.Add(1)
+			return nil, fmt.Errorf("rpc: daemon error %d: %s", code, msg)
+		}
+	}
+}
+
+// exchange writes the encoded request frame and reads one response
+// frame. It returns (0, "", nil) on a decoded place response,
+// (code, msg, nil) on a daemon error frame, and a non-nil error on
+// transport or protocol failures (which poison the session).
+func (s *StreamSession) exchange(ctx context.Context) (uint16, string, error) {
+	if deadline, ok := ctx.Deadline(); ok {
+		_ = s.conn.SetDeadline(deadline)
+	} else {
+		_ = s.conn.SetDeadline(time.Now().Add(s.c.cfg.RequestTimeout))
+	}
+	defer s.conn.SetDeadline(time.Time{})
+	if _, err := s.bw.Write(s.sc.frame); err != nil {
+		return 0, "", fmt.Errorf("rpc: stream write: %w", err)
+	}
+	if err := s.bw.Flush(); err != nil {
+		return 0, "", fmt.Errorf("rpc: stream write: %w", err)
+	}
+	ft, buf, payload, err := wire.ReadFrame(s.br, s.sc.body, 0)
+	s.sc.body = buf
+	if err != nil {
+		if err == io.EOF {
+			return 0, "", fmt.Errorf("rpc: stream closed by daemon")
+		}
+		return 0, "", err
+	}
+	switch ft {
+	case wire.FramePlaceResponse:
+		if err := wire.DecodePlaceResponse(payload, &s.sc.bresp, 0); err != nil {
+			return 0, "", err
+		}
+		return 0, "", nil
+	case wire.FrameError:
+		code, msg, derr := wire.DecodeError(payload)
+		if derr != nil {
+			return 0, "", derr
+		}
+		return code, msg, nil
+	default:
+		return 0, "", fmt.Errorf("rpc: unexpected frame type %d on stream", ft)
+	}
+}
+
+// Close shuts the stream down. Safe to call twice.
+func (s *StreamSession) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.conn.Close()
+}

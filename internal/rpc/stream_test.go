@@ -1,0 +1,190 @@
+package rpc
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/rpc/wire"
+)
+
+// TestStreamPlace drives the persistent streaming mode end to end:
+// upgrade, many pipelined batches on one connection, counters, close.
+func TestStreamPlace(t *testing.T) {
+	fx := testFixture(t)
+	d := startDaemon(t, fx.newRegistry(t), testConfig())
+	c := newCodecClient(t, d, CodecBinary)
+
+	s, err := c.OpenStream(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	var got []wire.Decision
+	for lo := 0; lo < 120; lo += 30 {
+		ds, err := s.Place(context.Background(), fx.jobs[lo:lo+30])
+		if err != nil {
+			t.Fatalf("stream place at %d: %v", lo, err)
+		}
+		got = append(got, ds...)
+	}
+	if len(got) != 120 {
+		t.Fatalf("%d decisions, want 120", len(got))
+	}
+	for i, dec := range got {
+		if dec.JobID != fx.jobs[i].ID {
+			t.Fatalf("decision %d carries job %q, want %q", i, dec.JobID, fx.jobs[i].ID)
+		}
+		if dec.ModelVersion != 1 {
+			t.Fatalf("decision %d served by v%d, want v1", i, dec.ModelVersion)
+		}
+	}
+	snap := d.Stats()
+	if snap.StreamSessions != 1 || snap.StreamFrames != 4 {
+		t.Errorf("daemon counted %d sessions / %d frames, want 1 / 4", snap.StreamSessions, snap.StreamFrames)
+	}
+	if snap.PlaceBinary != 4 {
+		t.Errorf("stream frames not counted as binary places: %d", snap.PlaceBinary)
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("close: %v", err)
+	}
+	if _, err := s.Place(context.Background(), fx.jobs[:1]); err == nil {
+		t.Error("place on a closed session succeeded")
+	}
+}
+
+// TestStreamMatchesRequestResponse checks stream decisions are
+// bit-identical to the request/response binary path on a fresh daemon
+// (same statefulness caveat as the cross-codec test).
+func TestStreamMatchesRequestResponse(t *testing.T) {
+	fx := testFixture(t)
+	jobs := fx.jobs[:100]
+
+	viaHTTP := func() []wire.Decision {
+		d := startDaemon(t, fx.newRegistry(t), testConfig())
+		c := newCodecClient(t, d, CodecBinary)
+		var out []wire.Decision
+		for lo := 0; lo < len(jobs); lo += 25 {
+			ds, err := c.Place(context.Background(), jobs[lo:lo+25])
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, ds...)
+		}
+		return out
+	}()
+	viaStream := func() []wire.Decision {
+		d := startDaemon(t, fx.newRegistry(t), testConfig())
+		c := newCodecClient(t, d, CodecBinary)
+		s, err := c.OpenStream(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		var out []wire.Decision
+		for lo := 0; lo < len(jobs); lo += 25 {
+			ds, err := s.Place(context.Background(), jobs[lo:lo+25])
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, ds...)
+		}
+		return out
+	}()
+	for i := range viaHTTP {
+		if viaHTTP[i] != viaStream[i] {
+			t.Fatalf("decision %d diverges:\n  http:   %+v\n  stream: %+v", i, viaHTTP[i], viaStream[i])
+		}
+	}
+}
+
+// TestStreamHotSwapRefresh checks the stale-version path over a stream:
+// a hot swap mid-session triggers an error frame, the client refreshes
+// its bin schema on the same connection and the place succeeds at the
+// new version.
+func TestStreamHotSwapRefresh(t *testing.T) {
+	fx := testFixture(t)
+	reg := fx.newRegistry(t)
+	d := startDaemon(t, reg, testConfig())
+	c := newCodecClient(t, d, CodecBinary)
+
+	s, err := c.OpenStream(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if ds, err := s.Place(context.Background(), fx.jobs[:5]); err != nil || ds[0].ModelVersion != 1 {
+		t.Fatalf("pre-swap place: %v (v%d)", err, ds[0].ModelVersion)
+	}
+
+	if _, err := reg.Publish("w", fx.model, 0); err != nil {
+		t.Fatal(err)
+	}
+	waitForVersion(t, d, 2)
+
+	ds, err := s.Place(context.Background(), fx.jobs[5:10])
+	if err != nil {
+		t.Fatalf("post-swap place: %v", err)
+	}
+	if ds[0].ModelVersion != 2 {
+		t.Fatalf("post-swap place served v%d, want v2", ds[0].ModelVersion)
+	}
+}
+
+// TestStreamDisabled checks a DisableBinary daemon refuses upgrades.
+func TestStreamDisabled(t *testing.T) {
+	fx := testFixture(t)
+	cfg := testConfig()
+	cfg.DisableBinary = true
+	d := startDaemon(t, fx.newRegistry(t), cfg)
+	c := newCodecClient(t, d, CodecBinary)
+	if _, err := c.OpenStream(context.Background()); err == nil {
+		t.Fatal("stream opened against a JSON-only daemon")
+	}
+}
+
+// TestStreamShutdownDrain checks Shutdown does not hang on live stream
+// sessions: hijacked connections are expired and the daemon exits
+// within the drain deadline.
+func TestStreamShutdownDrain(t *testing.T) {
+	fx := testFixture(t)
+	d, err := NewDaemon(fx.newRegistry(t), "w", fx.cm, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	ccfg := DefaultClientConfig(d.BaseURL())
+	ccfg.Codec = CodecBinary
+	c, err := NewClient(ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	s, err := c.OpenStream(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Place(context.Background(), fx.jobs[:3]); err != nil {
+		t.Fatal(err)
+	}
+
+	// The session is idle-blocked in a frame read; Shutdown must expire
+	// it rather than wait forever.
+	start := time.Now()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := d.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown with a live stream: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Errorf("shutdown took %s with an idle stream", elapsed)
+	}
+	if _, err := s.Place(context.Background(), fx.jobs[:1]); err == nil {
+		t.Error("place on a drained stream succeeded")
+	}
+}

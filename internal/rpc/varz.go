@@ -19,6 +19,11 @@ func writeVarz(w io.Writer, info wire.ModelInfo, rpc metrics.RPCSnapshot, srv me
 	fmt.Fprintf(w, "placementd_num_categories %d\n", info.NumCategories)
 	fmt.Fprintf(w, "placementd_shards %d\n", info.Shards)
 	fmt.Fprintf(w, "placementd_swaps %d\n", info.Swaps)
+	binary := 0
+	if info.Binary {
+		binary = 1
+	}
+	fmt.Fprintf(w, "placementd_binary %d\n", binary)
 	rpc.WriteText(w, "rpc")
 	srv.WriteText(w, "serve")
 	if onl != nil {

@@ -20,10 +20,15 @@ func TestVarzGolden(t *testing.T) {
 		NumCategories: 15,
 		Shards:        8,
 		Swaps:         6,
+		Binary:        true,
 	}
 	rpcSnap := metrics.RPCSnapshot{
 		PlaceRequests:   12000,
+		PlaceJSON:       4000,
+		PlaceBinary:     8000,
 		PlaceJobs:       768000,
+		StreamSessions:  3,
+		StreamFrames:    5200,
 		OutcomeRequests: 512000,
 		ModelRequests:   42,
 		Shed:            1310,
@@ -39,6 +44,7 @@ func TestVarzGolden(t *testing.T) {
 		Batches:        13776,
 		FullFlushes:    11900,
 		TimeoutFlushes: 1876,
+		DrainFlushes:   1240,
 		MeanBatchSize:  55.75,
 		MeanLatency:    912 * time.Microsecond,
 		MaxLatency:     18 * time.Millisecond,

@@ -1,13 +1,17 @@
-// Package wire defines the versioned JSON-over-HTTP protocol between
-// placement clients and the placement daemon (internal/rpc). The
-// request unit is the trace.Job — the same JSON shape the trace files
-// use — so any producer of trace JSONL can speak the protocol directly.
+// Package wire defines the versioned protocol between placement clients
+// and the placement daemon (internal/rpc), in two codecs negotiated via
+// Accept/Content-Type: the JSON fallback, whose request unit is the
+// trace.Job — the same JSON shape the trace files use, so any producer
+// of trace JSONL can speak the protocol directly — and the binary frame
+// codec (binary.go), which carries jobs as pre-binned feature vectors
+// for the zero-feature-work hot path.
 //
 // Endpoints (all under the /v1 prefix; see PathPlace etc.):
 //
 //	POST /v1/place    PlaceRequest  -> PlaceResponse   (single or batch)
 //	POST /v1/outcome  OutcomeRequest -> 204 No Content  (feedback)
 //	GET  /v1/model    -> ModelInfo                      (active version)
+//	POST /v1/stream   -> 101, then place frames both ways (binary only)
 //
 // Errors are returned as an ErrorResponse body with a matching HTTP
 // status; admission-control sheds use 429 with a Retry-After header.
@@ -18,6 +22,7 @@ package wire
 import (
 	"fmt"
 
+	"repro/internal/features"
 	"repro/internal/trace"
 )
 
@@ -29,6 +34,7 @@ const (
 	PathPlace   = "/v1/place"
 	PathOutcome = "/v1/outcome"
 	PathModel   = "/v1/model"
+	PathStream  = "/v1/stream"
 	PathHealth  = "/healthz"
 	PathVarz    = "/varz"
 )
@@ -130,6 +136,27 @@ type ModelInfo struct {
 	Shards int `json:"shards"`
 	// Swaps counts hot-swaps applied since the daemon started.
 	Swaps int64 `json:"swaps"`
+
+	// Binary reports that the daemon speaks the binary frame codec.
+	// Older JSON-only daemons omit it, which is how a binary-preferring
+	// client knows to fall back to JSON.
+	Binary bool `json:"binary,omitempty"`
+	// NumFeatures is the feature-row width of the active model; binary
+	// place requests must carry exactly this many bins per row.
+	NumFeatures int `json:"num_features,omitempty"`
+	// BinEdges / BinCards describe the active model's lossless
+	// quantization (features.Binner): per-feature sorted numeric split
+	// thresholds, and per-feature categorical cardinality (0 for
+	// numeric). They are pinned to ModelVersion — after a hot swap the
+	// daemon rejects rows binned against stale edges and the client
+	// must re-fetch.
+	BinEdges [][]float64 `json:"bin_edges,omitempty"`
+	BinCards []int       `json:"bin_cards,omitempty"`
+	// Encoder is the active model's feature encoder (vocabularies or
+	// hashing config), shipped so clients can extract and bin feature
+	// rows locally and keep the daemon's hot path free of per-job
+	// feature work.
+	Encoder *features.Encoder `json:"encoder,omitempty"`
 }
 
 // ErrorResponse is the JSON body of every non-2xx response.

@@ -31,6 +31,7 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -38,12 +39,19 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/cost"
+	"repro/internal/features"
 	"repro/internal/gbdt"
 	"repro/internal/metrics"
 	"repro/internal/registry"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
+
+// ErrModelVersion reports that a pre-binned submission was quantized
+// against a model version that is no longer serving. Bin indices are
+// only meaningful under the edges of the version that produced them, so
+// the caller must refresh its binner and re-bin before retrying.
+var ErrModelVersion = errors.New("serve: pre-binned rows target a stale model version")
 
 // Config tunes the serving layer.
 type Config struct {
@@ -102,23 +110,47 @@ type Decision struct {
 
 // activeModel is the atomically swapped inference state.
 type activeModel struct {
-	model   *core.CategoryModel
-	forest  *gbdt.Forest
+	model  *core.CategoryModel
+	forest *gbdt.Forest
+	// binner is the model's lossless quantizer (numeric split
+	// thresholds as bin edges): pre-binned wire rows are expanded
+	// through it into rows the forest cannot distinguish from raw
+	// encodings.
+	binner  *features.Binner
 	version registry.Version
 }
 
 // message is one unit of shard work: a span of placement requests from
-// one submitter (all routed to this shard) or a feedback observation.
-// Spans keep the channel cost per job at ~1/len(jobs) of a send.
+// one submitter (all routed to this shard), a span of pre-binned rows
+// from the binary wire path, or a feedback observation. Spans keep the
+// channel cost per job at ~1/len(jobs) of a send.
 type message struct {
-	// Placement spans:
+	// Placement spans (raw jobs):
 	jobs []*trace.Job
-	outs []*Decision // parallel to jobs
+	outs []*Decision // parallel to jobs (or to span.rows)
 	wg   *sync.WaitGroup
 	enq  time.Time
-	// Observations (jobs == nil):
+	// Pre-binned placement spans (jobs == nil, span != nil):
+	span *encodedSpan
+	// skip is worker-local: set when the span was rejected (stale
+	// version) and its wg already released during row assembly.
+	skip bool
+	// Observations (jobs == nil, span == nil):
 	job     *trace.Job
 	outcome sim.Outcome
+}
+
+// encodedSpan carries one shard's slice of a pre-binned submission. The
+// rows were quantized by the client against version's bin edges; the
+// worker checks that pin against the active model at classification
+// time (a hot swap between submit and process would otherwise expand
+// the bins through the wrong edges) and flags mismatch instead of
+// serving wrong decisions.
+type encodedSpan struct {
+	version  int
+	rows     [][]uint16
+	arrivals []float64 // parallel to rows (virtual decision clock)
+	mismatch *atomic.Bool
 }
 
 // Server is the concurrent placement-serving front-end. Create with
@@ -148,11 +180,24 @@ type Server struct {
 // between the worker and snapshot readers; the worker holds it
 // uncontended on the hot path.
 type shard struct {
-	id       int
-	reqs     chan message
+	id   int
+	reqs chan message
+	// pending counts messages between a submitter's pre-send increment
+	// and the worker's post-receive decrement. When the queue is empty
+	// AND pending is zero, no submitter is in flight, so an under-filled
+	// batch flushes immediately instead of waiting out FlushInterval
+	// (the adaptive low-QPS flush).
+	pending  atomic.Int64
 	amu      sync.Mutex
 	adaptive *core.Adaptive
 	counters metrics.ShardCounters
+}
+
+// send enqueues one message with the pending handshake the drain flush
+// relies on (increment strictly before the channel send).
+func (sh *shard) send(m message) {
+	sh.pending.Add(1)
+	sh.reqs <- m
 }
 
 // New builds a server that resolves the workload's category model from
@@ -223,7 +268,11 @@ func (s *Server) reload() error {
 	if err != nil {
 		return fmt.Errorf("serve: compiling %s v%d: %w", version.Workload, version.Number, err)
 	}
-	if s.active.Swap(&activeModel{model: model, forest: forest, version: version}) != nil {
+	binner, err := features.BinnerForModel(model.Model)
+	if err != nil {
+		return fmt.Errorf("serve: binning %s v%d: %w", version.Workload, version.Number, err)
+	}
+	if s.active.Swap(&activeModel{model: model, forest: forest, binner: binner, version: version}) != nil {
 		s.swaps.Add(1)
 	}
 	return nil
@@ -235,12 +284,16 @@ func (s *Server) ModelVersion() int { return s.active.Load().version.Number }
 // Swaps returns how many hot-swaps have been applied since start.
 func (s *Server) Swaps() int64 { return s.swaps.Load() }
 
-// shardIndex routes a job to its admission shard by recurring identity,
-// so feedback for a template reaches the controller that admits it.
-func (s *Server) shardIndex(j *trace.Job) int {
-	// Inlined FNV-1a over the TemplateKey bytes (Pipeline + "/" + Step):
-	// this runs once per job on the submit path, and hash.Hash32 plus
-	// the key concatenation would cost three heap allocations per call.
+// TemplateHash is the routing hash of a job's recurring identity: FNV-1a
+// over the TemplateKey bytes (Pipeline + "/" + Step). It is part of the
+// serving contract — remote clients that pre-bin rows compute it locally
+// and ship it with each row, and SubmitEncoded routes by hash % Shards,
+// so a template's admission feedback still reaches the controller that
+// decides its placements.
+func TemplateHash(j *trace.Job) uint32 {
+	// Inlined FNV-1a: this runs once per job on the submit path, and
+	// hash.Hash32 plus the key concatenation would cost three heap
+	// allocations per call.
 	const offset32, prime32 = 2166136261, 16777619
 	h := uint32(offset32)
 	for i := 0; i < len(j.Pipeline); i++ {
@@ -250,9 +303,15 @@ func (s *Server) shardIndex(j *trace.Job) int {
 	for i := 0; i < len(j.Step); i++ {
 		h = (h ^ uint32(j.Step[i])) * prime32
 	}
+	return h
+}
+
+// shardIndex routes a job to its admission shard by recurring identity,
+// so feedback for a template reaches the controller that admits it.
+func (s *Server) shardIndex(j *trace.Job) int {
 	// Modulo in uint32: int(h) would go negative on 32-bit platforms
 	// for half of all hashes.
-	return int(h % uint32(len(s.shards)))
+	return int(TemplateHash(j) % uint32(len(s.shards)))
 }
 
 // Submit requests a placement decision for one job, blocking until the
@@ -266,9 +325,9 @@ func (s *Server) Submit(j *trace.Job) (Decision, error) {
 		return Decision{}, fmt.Errorf("serve: server is closed")
 	}
 	wg.Add(1)
-	s.shards[s.shardIndex(j)].reqs <- message{
+	s.shards[s.shardIndex(j)].send(message{
 		jobs: []*trace.Job{j}, outs: []*Decision{&d}, wg: &wg, enq: time.Now(),
-	}
+	})
 	s.mu.RUnlock()
 	wg.Wait()
 	return d, nil
@@ -308,11 +367,87 @@ func (s *Server) SubmitBatch(jobs []*trace.Job, out []Decision) ([]Decision, err
 			continue
 		}
 		wg.Add(1)
-		s.shards[sid].reqs <- message{jobs: spanJobs[sid], outs: spanOuts[sid], wg: &wg, enq: now}
+		s.shards[sid].send(message{jobs: spanJobs[sid], outs: spanOuts[sid], wg: &wg, enq: now})
 	}
 	s.mu.RUnlock()
 	wg.Wait()
 	return out, nil
+}
+
+// SubmitEncoded requests decisions for pre-binned feature rows — the
+// binary wire path. Each row arrives as the bin indices produced by the
+// Binner of model version (see Binner); hashes carries TemplateHash per
+// row for shard routing and arrivals the per-job virtual decision clock.
+// The daemon does no feature work here: rows go straight to the shard
+// workers, which expand bins to representative values and classify.
+// Returns ErrModelVersion when version no longer matches the serving
+// model (at submit or, after a mid-flight hot swap, at classification
+// time); the caller must re-fetch the bin edges, re-bin and retry.
+func (s *Server) SubmitEncoded(version int, hashes []uint32, arrivals []float64, rows [][]uint16, out []Decision) ([]Decision, error) {
+	if len(hashes) != len(rows) || len(arrivals) != len(rows) {
+		return out, fmt.Errorf("serve: encoded submission has %d rows, %d hashes, %d arrivals",
+			len(rows), len(hashes), len(arrivals))
+	}
+	if cap(out) < len(rows) {
+		out = make([]Decision, len(rows))
+	}
+	out = out[:len(rows)]
+	if len(rows) == 0 {
+		return out, nil
+	}
+	am := s.active.Load()
+	if am.version.Number != version {
+		return out, fmt.Errorf("%w: have v%d, serving v%d", ErrModelVersion, version, am.version.Number)
+	}
+	nf := am.binner.NumFeatures()
+	for i, r := range rows {
+		if len(r) != nf {
+			return out, fmt.Errorf("serve: encoded row %d has %d features, want %d", i, len(r), nf)
+		}
+	}
+	nsh := len(s.shards)
+	spans := make([]encodedSpan, nsh)
+	spanOuts := make([][]*Decision, nsh)
+	var mismatch atomic.Bool
+	for i := range rows {
+		sid := int(hashes[i] % uint32(nsh))
+		sp := &spans[sid]
+		sp.rows = append(sp.rows, rows[i])
+		sp.arrivals = append(sp.arrivals, arrivals[i])
+		spanOuts[sid] = append(spanOuts[sid], &out[i])
+	}
+	var wg sync.WaitGroup
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return out, fmt.Errorf("serve: server is closed")
+	}
+	now := time.Now()
+	for sid := 0; sid < nsh; sid++ {
+		sp := &spans[sid]
+		if len(sp.rows) == 0 {
+			continue
+		}
+		sp.version = version
+		sp.mismatch = &mismatch
+		wg.Add(1)
+		s.shards[sid].send(message{span: sp, outs: spanOuts[sid], wg: &wg, enq: now})
+	}
+	s.mu.RUnlock()
+	wg.Wait()
+	if mismatch.Load() {
+		return out, fmt.Errorf("%w: hot swap landed mid-flight", ErrModelVersion)
+	}
+	return out, nil
+}
+
+// WireModel returns one consistent snapshot of the active model's
+// client-side serving state: the feature encoder, the lossless binner
+// and the version they belong to — what a daemon hands to clients so
+// they can extract + pre-bin rows for SubmitEncoded.
+func (s *Server) WireModel() (*features.Encoder, *features.Binner, int) {
+	am := s.active.Load()
+	return am.model.Encoder, am.binner, am.version.Number
 }
 
 // Observe feeds a placement outcome back to the job's admission shard
@@ -324,7 +459,7 @@ func (s *Server) Observe(j *trace.Job, o sim.Outcome) error {
 	if s.closed {
 		return fmt.Errorf("serve: server is closed")
 	}
-	s.shards[s.shardIndex(j)].reqs <- message{job: j, outcome: o}
+	s.shards[s.shardIndex(j)].send(message{job: j, outcome: o})
 	return nil
 }
 
@@ -383,11 +518,22 @@ type worker struct {
 	scratch []float64
 }
 
+// placements returns how many placement rows a message contributes.
+func (m *message) placements() int {
+	if m.span != nil {
+		return len(m.span.rows)
+	}
+	return len(m.jobs)
+}
+
 // run is the shard worker loop: single-flight batch accumulation with a
 // max-latency flush, then batched classification and admission. The
 // batch closes when the accumulated placement jobs reach BatchSize (a
-// single larger span still processes whole) or when FlushInterval
-// elapses after the batch's first message.
+// single larger span still processes whole), when FlushInterval elapses
+// after the batch's first message, or — the adaptive path — as soon as
+// the queue drains with no submitter in flight (pending == 0): a lone
+// low-QPS submitter then never waits out the flush timer, which is what
+// kept paced p50 latency pinned at ~FlushInterval.
 func (s *Server) run(sh *shard) {
 	defer s.wg.Done()
 	w := &worker{}
@@ -400,37 +546,65 @@ func (s *Server) run(sh *shard) {
 		if !ok {
 			return
 		}
+		sh.pending.Add(-1)
 		w.batch = append(w.batch[:0], first)
-		w.jobs = len(first.jobs)
+		w.jobs = first.placements()
 		timer.Reset(s.cfg.FlushInterval)
-		timedOut := false
+		flush := metrics.FlushFull
 	accumulate:
 		for w.jobs < s.cfg.BatchSize {
+			// Fast path: drain whatever is already queued.
 			select {
 			case m, ok := <-sh.reqs:
 				if !ok {
-					s.process(sh, w, timedOut)
+					s.process(sh, w, flush)
 					return
 				}
+				sh.pending.Add(-1)
 				w.batch = append(w.batch, m)
-				w.jobs += len(m.jobs)
+				w.jobs += m.placements()
+				continue
+			default:
+			}
+			if sh.pending.Load() == 0 {
+				// Queue empty and nobody mid-submit: flushing now
+				// costs no batching opportunity that is actually in
+				// flight.
+				flush = metrics.FlushDrain
+				break accumulate
+			}
+			// A submitter has announced itself but its message has not
+			// landed yet: block for it (or for the flush deadline).
+			select {
+			case m, ok := <-sh.reqs:
+				if !ok {
+					s.process(sh, w, flush)
+					return
+				}
+				sh.pending.Add(-1)
+				w.batch = append(w.batch, m)
+				w.jobs += m.placements()
 			case <-timer.C:
-				timedOut = true
+				flush = metrics.FlushTimeout
 				break accumulate
 			}
 		}
-		if !timedOut && !timer.Stop() {
+		if flush != metrics.FlushTimeout && !timer.Stop() {
 			<-timer.C
 		}
-		s.process(sh, w, timedOut)
+		s.process(sh, w, flush)
 	}
 }
 
 // process serves one accumulated batch on the shard worker goroutine.
 // Observations are applied first (they carry strictly older outcomes),
-// then all placement rows are encoded and classified in one forest
-// batch, then admissions are decided per job on the shard's controller.
-func (s *Server) process(sh *shard, w *worker, timedOut bool) {
+// then all placement rows are assembled — raw jobs encoded, pre-binned
+// spans expanded through the active binner — and classified in one
+// forest batch, then admissions are decided per job on the shard's
+// controller. Pre-binned spans pinned to a stale model version are
+// rejected here (flagged for the submitter, no decisions served): their
+// bins would expand through the wrong edges.
+func (s *Server) process(sh *shard, w *worker, flush metrics.FlushKind) {
 	if len(w.batch) == 0 {
 		return
 	}
@@ -441,13 +615,29 @@ func (s *Server) process(sh *shard, w *worker, timedOut bool) {
 	n := 0
 	for i := range w.batch {
 		m := &w.batch[i]
-		if m.jobs == nil {
+		switch {
+		case m.span != nil:
+			m.skip = false
+			if m.span.version != am.version.Number {
+				m.span.mismatch.Store(true)
+				m.skip = true
+				m.wg.Done()
+				continue
+			}
+			for _, bins := range m.span.rows {
+				// Unbin copies values into worker-owned scratch, so
+				// the (possibly pooled) wire row buffers are never
+				// retained past this batch.
+				w.rows[n] = am.binner.Unbin(bins, w.rows[n])
+				n++
+			}
+		case m.jobs != nil:
+			for _, j := range m.jobs {
+				w.rows[n] = am.model.Encoder.Encode(j, w.rows[n])
+				n++
+			}
+		default:
 			s.observe(sh, m)
-			continue
-		}
-		for _, j := range m.jobs {
-			w.rows[n] = am.model.Encoder.Encode(j, w.rows[n])
-			n++
 		}
 	}
 	if n == 0 {
@@ -459,10 +649,26 @@ func (s *Server) process(sh *shard, w *worker, timedOut bool) {
 	n = 0
 	for i := range w.batch {
 		m := &w.batch[i]
-		if m.jobs == nil {
+		if m.skip || (m.jobs == nil && m.span == nil) {
 			continue
 		}
 		latency := now.Sub(m.enq)
+		if m.span != nil {
+			for k := range m.span.rows {
+				cat := w.classes[n]
+				n++
+				admit := sh.adaptive.Admit(cat, m.span.arrivals[k])
+				*m.outs[k] = Decision{
+					Admit:        admit,
+					Category:     cat,
+					ModelVersion: am.version.Number,
+					Shard:        sh.id,
+				}
+				sh.counters.RecordDecision(admit, latency)
+			}
+			m.wg.Done()
+			continue
+		}
 		for k, j := range m.jobs {
 			cat := w.classes[n]
 			n++
@@ -478,7 +684,7 @@ func (s *Server) process(sh *shard, w *worker, timedOut bool) {
 		m.wg.Done()
 	}
 	sh.amu.Unlock()
-	sh.counters.RecordBatch(timedOut)
+	sh.counters.RecordBatch(flush)
 }
 
 // observe applies one outcome to the shard controller using the same

@@ -285,12 +285,14 @@ func TestSwapRejectsIncompatibleModel(t *testing.T) {
 }
 
 // TestBatchFlushTimeout submits fewer jobs than BatchSize and checks
-// the max-latency flush serves them promptly.
+// a lone submitter is served promptly: with an idle queue the drain
+// flush fires immediately instead of holding the job for the full
+// FlushInterval (the old low-QPS latency wart).
 func TestBatchFlushTimeout(t *testing.T) {
 	cfg := testConfig()
 	cfg.Shards = 1
 	cfg.BatchSize = 1024
-	cfg.FlushInterval = 5 * time.Millisecond
+	cfg.FlushInterval = time.Second
 	srv, fx, _ := newTestServer(t, cfg)
 
 	start := time.Now()
@@ -298,15 +300,49 @@ func TestBatchFlushTimeout(t *testing.T) {
 		t.Fatal(err)
 	}
 	elapsed := time.Since(start)
-	if elapsed > time.Second {
-		t.Fatalf("single submit took %s; flush timer did not fire", elapsed)
+	// Far below FlushInterval: the drain flush must not wait the timer.
+	if elapsed > cfg.FlushInterval/2 {
+		t.Fatalf("single submit took %s with a %s flush interval; drain flush did not fire", elapsed, cfg.FlushInterval)
 	}
 	stats := srv.Stats()
-	if stats.TimeoutFlushes == 0 {
-		t.Fatalf("expected a timeout flush, got %+v", stats)
+	if stats.DrainFlushes == 0 {
+		t.Fatalf("expected a drain flush, got %+v", stats)
 	}
 	if stats.FullFlushes != 0 {
 		t.Fatalf("a 1-job batch cannot be a full flush: %+v", stats)
+	}
+}
+
+// TestDrainFlushLowQPSLatency is the regression test for the low-QPS
+// latency wart: a paced trickle of single submits (each arriving into
+// an idle shard) must be served at drain-flush speed, never waiting out
+// a long FlushInterval. Before the drain flush, p50 at paced 10k-QPS
+// rates sat at ~FlushInterval.
+func TestDrainFlushLowQPSLatency(t *testing.T) {
+	cfg := testConfig()
+	cfg.Shards = 1
+	cfg.BatchSize = 1024
+	cfg.FlushInterval = 250 * time.Millisecond
+	srv, fx, _ := newTestServer(t, cfg)
+
+	const n = 20
+	var worst time.Duration
+	for i := 0; i < n; i++ {
+		start := time.Now()
+		if _, err := srv.Submit(fx.jobs[i%len(fx.jobs)]); err != nil {
+			t.Fatal(err)
+		}
+		if d := time.Since(start); d > worst {
+			worst = d
+		}
+		time.Sleep(2 * time.Millisecond) // paced: queue is idle between submits
+	}
+	if worst >= cfg.FlushInterval {
+		t.Errorf("worst paced-submit latency %s >= FlushInterval %s; drain flush not engaging", worst, cfg.FlushInterval)
+	}
+	stats := srv.Stats()
+	if stats.DrainFlushes < n/2 {
+		t.Errorf("only %d of %d paced submits drain-flushed: %+v", stats.DrainFlushes, n, stats)
 	}
 }
 
