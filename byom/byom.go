@@ -41,6 +41,7 @@ import (
 	"repro/internal/oracle"
 	"repro/internal/policy"
 	"repro/internal/registry"
+	"repro/internal/router"
 	"repro/internal/rpc"
 	"repro/internal/rpc/wire"
 	"repro/internal/serve"
@@ -166,6 +167,25 @@ type (
 	StreamSession = rpc.StreamSession
 	// RPCStats is a snapshot of the daemon's request counters.
 	RPCStats = metrics.RPCSnapshot
+
+	// Router spreads placement batches across a multi-node plane of
+	// daemons on a bounded-load consistent-hash ring keyed by workload
+	// template, with health probing, shed-aware weight decay and
+	// reroute-on-failure.
+	Router = router.Router
+	// RouterConfig tunes the routing layer (ring geometry, bound
+	// factor, probe cadence, per-node client template).
+	RouterConfig = router.Config
+	// RouterNodeState is one backend's health as the router sees it.
+	RouterNodeState = router.NodeState
+	// RouterStats is a snapshot of the router's routing counters.
+	RouterStats = metrics.RouterSnapshot
+	// ModelReplicator mirrors one source workload's publish/rollback
+	// history into follower registries — the control plane that keeps
+	// every node of a placement plane serving the same model version.
+	ModelReplicator = router.Replicator
+	// ReplicatorStats counts a replicator's publish/rollback fan-out.
+	ReplicatorStats = router.ReplicatorStats
 	// WireDecision is one placement verdict as it crosses the wire.
 	WireDecision = wire.Decision
 	// WireModelInfo is the daemon's active-model metadata payload.
@@ -295,6 +315,31 @@ func DefaultClientConfig(baseURL string) ClientConfig {
 // it); (*Client).OpenStream upgrades to a persistent binary stream.
 func NewClient(cfg ClientConfig) (*Client, error) {
 	return rpc.NewClient(cfg)
+}
+
+// DefaultRouterConfig returns routing-layer parameters for a plane of
+// daemons at the given base URLs: 64 virtual nodes per backend, a 1.25
+// bounded-load factor, 250 ms health probes and binary-codec clients.
+func DefaultRouterConfig(nodes []string) RouterConfig {
+	return router.DefaultConfig(nodes)
+}
+
+// NewRouter builds the routing layer over cfg.Nodes and starts its
+// health prober. Place fans each batch across the plane grouped by
+// workload template (the same key the daemons shard on), reroutes
+// around dead or shedding nodes, and merges decisions back in request
+// order. Close it when done.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	return router.New(cfg)
+}
+
+// NewModelReplicator follows workload in src and mirrors every publish
+// and rollback into registries attached with (*ModelReplicator).Attach
+// — newly attached followers (e.g. a restarted node's fresh registry)
+// first replay the history they missed, with version numbers aligned
+// to the source. Close it to stop following.
+func NewModelReplicator(src *ModelRegistry, workload string) *ModelReplicator {
+	return router.NewReplicator(src, workload)
 }
 
 // Place codecs for ClientConfig.Codec.

@@ -328,3 +328,93 @@ func TestPublicAPIDaemon(t *testing.T) {
 		t.Errorf("daemon counted %d placements, want %d", stats.PlaceJobs, len(jobs))
 	}
 }
+
+// TestPublicAPIRouter walks the multi-node plane flow: replicate one
+// source workload's model to two per-node registries, stand up two
+// daemons, and route placements across them with NewRouter.
+func TestPublicAPIRouter(t *testing.T) {
+	gcfg := byom.DefaultGeneratorConfig("plane-demo", 13)
+	gcfg.DurationSec = 24 * 3600
+	gcfg.NumUsers = 5
+	full := byom.GenerateCluster(gcfg)
+
+	cm := byom.DefaultCostModel()
+	opts := byom.DefaultTrainOptions()
+	opts.NumCategories = 5
+	opts.GBDT.NumRounds = 4
+	opts.GBDT.MaxDepth = 3
+	model, err := byom.TrainCategoryModel(full.Jobs, cm, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := byom.NewModelRegistry()
+	if _, err := src.Publish("svc", model, 0); err != nil {
+		t.Fatal(err)
+	}
+	repl := byom.NewModelReplicator(src, "svc")
+	defer repl.Close()
+
+	var daemons []*byom.Daemon
+	var urls []string
+	for i := 0; i < 2; i++ {
+		reg := byom.NewModelRegistry()
+		if _, err := repl.Attach(reg, "svc"); err != nil {
+			t.Fatal(err)
+		}
+		d, err := byom.NewDaemon(reg, "svc", cm, byom.DefaultDaemonConfig(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Start("127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+		daemons = append(daemons, d)
+		urls = append(urls, d.BaseURL())
+	}
+	defer func() {
+		for _, d := range daemons {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			if err := d.Shutdown(ctx); err != nil {
+				t.Errorf("shutdown: %v", err)
+			}
+			cancel()
+		}
+	}()
+
+	r, err := byom.NewRouter(byom.DefaultRouterConfig(urls))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	jobs := full.Jobs
+	if len(jobs) > 128 {
+		jobs = jobs[:128]
+	}
+	decisions, err := r.Place(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decisions) != len(jobs) {
+		t.Fatalf("%d decisions for %d jobs", len(decisions), len(jobs))
+	}
+	for i, d := range decisions {
+		if d.JobID != jobs[i].ID {
+			t.Fatalf("decision %d echoes %q, want %q", i, d.JobID, jobs[i].ID)
+		}
+	}
+	rs := r.Stats()
+	if rs.Jobs != int64(len(jobs)) || rs.Failures != 0 {
+		t.Errorf("router stats %+v, want %d jobs and 0 failures", rs, len(jobs))
+	}
+	if st := repl.Stats(); st.Publishes != 2 || st.Errors != 0 {
+		t.Errorf("replicator stats %+v, want 2 publishes", st)
+	}
+	served := int64(0)
+	for _, d := range daemons {
+		served += d.Stats().PlaceJobs
+	}
+	if served != int64(len(jobs)) {
+		t.Errorf("daemons served %d jobs, want %d", served, len(jobs))
+	}
+}

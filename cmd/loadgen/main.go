@@ -12,6 +12,12 @@
 //	loadgen -addr 127.0.0.1:7070 -outcomes        # also post feedback
 //	loadgen -addr 127.0.0.1:7070 -codec binary    # pre-binned frames
 //	loadgen -addr 127.0.0.1:7070 -codec binary -stream  # persistent streams
+//	loadgen -nodes 127.0.0.1:7070,127.0.0.1:7071  # route across a plane
+//
+// With -nodes, loadgen embeds the internal/router consistent-hash
+// routing layer instead of talking to one daemon: batches spread over
+// the plane by workload template, node failures reroute, and the
+// summary gains per-node health and routing counters.
 package main
 
 import (
@@ -22,12 +28,14 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/router"
 	"repro/internal/rpc"
 	"repro/internal/rpc/wire"
 	"repro/internal/sim"
@@ -46,7 +54,8 @@ func main() {
 func run(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
 	var (
-		addr     = fs.String("addr", "", "placementd address (host:port), required")
+		addr     = fs.String("addr", "", "placementd address (host:port); required unless -nodes is set")
+		nodes    = fs.String("nodes", "", "comma-separated placementd addresses; route across a multi-node plane")
 		qps      = fs.Float64("qps", 20000, "target placements/sec across all connections (0 = unpaced)")
 		conns    = fs.Int("conns", 8, "concurrent connections (closed-loop submitters)")
 		duration = fs.Duration("duration", 10*time.Second, "load duration")
@@ -67,8 +76,8 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		}
 		return err
 	}
-	if *addr == "" {
-		return fmt.Errorf("-addr is required")
+	if *addr == "" && *nodes == "" {
+		return fmt.Errorf("-addr or -nodes is required")
 	}
 	if *conns < 1 || *chunk < 1 {
 		return fmt.Errorf("-conns and -chunk must be >= 1")
@@ -79,6 +88,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	if *stream && *codec != rpc.CodecBinary {
 		return fmt.Errorf("-stream requires -codec binary")
 	}
+	if *nodes != "" && (*stream || *outcomes || *addr != "") {
+		return fmt.Errorf("-nodes routes request/response place traffic only; drop -addr, -stream and -outcomes")
+	}
 
 	gcfg := trace.DefaultGeneratorConfig("loadgen", *seed)
 	gcfg.DurationSec = *days * 24 * 3600
@@ -88,19 +100,51 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		return fmt.Errorf("generated pool of %d jobs is smaller than one %d-job chunk; raise -days or -users", len(pool), *chunk)
 	}
 
-	ccfg := rpc.DefaultClientConfig("http://" + *addr)
-	ccfg.Codec = *codec
-	ccfg.RequestTimeout = *deadline
-	ccfg.MaxRetries = *retries
-	ccfg.RetryBackoff = *backoff
-	client, err := rpc.NewClient(ccfg)
-	if err != nil {
-		return err
+	// Single-node mode talks to one daemon through one shared client;
+	// -nodes mode routes through the consistent-hash plane router. The
+	// model probe goes to the daemon (or the plane's first node) so the
+	// summary can report the serving version.
+	var (
+		client *rpc.Client
+		rt     *router.Router
+		target string
+	)
+	if *nodes != "" {
+		urls, err := nodeURLs(*nodes)
+		if err != nil {
+			return err
+		}
+		rcfg := router.DefaultConfig(urls)
+		rcfg.Client.Codec = *codec
+		rcfg.Client.RequestTimeout = *deadline
+		rcfg.Client.MaxRetries = *retries
+		rcfg.Client.RetryBackoff = *backoff
+		if rt, err = router.New(rcfg); err != nil {
+			return err
+		}
+		defer rt.Close()
+		target = fmt.Sprintf("%d-node plane via %s", len(urls), urls[0])
+		ccfg := rpc.DefaultClientConfig(urls[0])
+		ccfg.RequestTimeout = *deadline
+		if client, err = rpc.NewClient(ccfg); err != nil {
+			return err
+		}
+	} else {
+		target = "http://" + *addr
+		ccfg := rpc.DefaultClientConfig(target)
+		ccfg.Codec = *codec
+		ccfg.RequestTimeout = *deadline
+		ccfg.MaxRetries = *retries
+		ccfg.RetryBackoff = *backoff
+		var err error
+		if client, err = rpc.NewClient(ccfg); err != nil {
+			return err
+		}
 	}
 	defer client.Close()
 	info, err := client.ModelInfo(ctx)
 	if err != nil {
-		return fmt.Errorf("probing %s: %w", *addr, err)
+		return fmt.Errorf("probing %s: %w", target, err)
 	}
 
 	// Pacing: request n is due at start + n*interval, shared across
@@ -139,6 +183,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 				sess = s
 			}
 			place := func(ctx context.Context, jobs []*trace.Job) ([]wire.Decision, error) {
+				if rt != nil {
+					return rt.Place(ctx, jobs)
+				}
 				if sess != nil {
 					return sess.Place(ctx, jobs)
 				}
@@ -203,7 +250,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		all = append(all, l...)
 	}
 	s := summary{
-		Target:       "http://" + *addr,
+		Target:       target,
 		ModelVersion: info.ModelVersion,
 		Codec:        *codec,
 		Stream:       *stream,
@@ -217,6 +264,11 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		Errors:       errCount.Load(),
 		Client:       client.Stats(),
 	}
+	if rt != nil {
+		s.Client = rt.ClientStats() // the probe client carried no load
+		s.Router = rt.Stats()
+		s.Nodes = rt.Nodes()
+	}
 	if elapsed > 0 {
 		s.AchievedQPS = float64(s.Placements) / elapsed.Seconds()
 	}
@@ -228,6 +280,25 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	// A signal mid-run is a graceful early stop: the summary above
 	// covers whatever traffic ran.
 	return nil
+}
+
+// nodeURLs normalizes the -nodes list into base URLs.
+func nodeURLs(list string) ([]string, error) {
+	var urls []string
+	for _, n := range strings.Split(list, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		if !strings.HasPrefix(n, "http://") && !strings.HasPrefix(n, "https://") {
+			n = "http://" + n
+		}
+		urls = append(urls, n)
+	}
+	if len(urls) == 0 {
+		return nil, fmt.Errorf("-nodes has no addresses")
+	}
+	return urls, nil
 }
 
 // summary aggregates one load run for reporting.
@@ -244,6 +315,8 @@ type summary struct {
 	Outcomes     int64
 	Errors       int64
 	Client       rpc.ClientStats
+	Router       metrics.RouterSnapshot
+	Nodes        []router.NodeState
 	AchievedQPS  float64
 	P50ms        float64
 	P95ms        float64
@@ -273,6 +346,17 @@ func writeSummary(w io.Writer, s summary) {
 	fmt.Fprintf(w, "  achieved:  %.0f placements/sec\n", s.AchievedQPS)
 	fmt.Fprintf(w, "  shedding:  %d sheds, %d retries, %d failures, %d request errors\n",
 		s.Client.Sheds, s.Client.Retries, s.Client.Failures, s.Errors)
+	if len(s.Nodes) > 0 {
+		fmt.Fprintf(w, "  routing:   %d batches -> %d dispatches over %d nodes, %d reroutes, %d failovers\n",
+			s.Router.Batches, s.Router.Dispatches, len(s.Nodes), s.Router.Reroutes, s.Router.Failovers)
+		for _, ns := range s.Nodes {
+			health := "healthy"
+			if !ns.Healthy {
+				health = "down"
+			}
+			fmt.Fprintf(w, "  node:      %s %s (weight %.2f)\n", ns.URL, health, ns.Weight)
+		}
+	}
 	fmt.Fprintf(w, "  latency:   p50 %.2fms  p95 %.2fms  p99 %.2fms  max %.2fms\n",
 		s.P50ms, s.P95ms, s.P99ms, s.MaxMs)
 }

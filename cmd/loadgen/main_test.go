@@ -9,7 +9,9 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/cost"
+	"repro/internal/metrics"
 	"repro/internal/registry"
+	"repro/internal/router"
 	"repro/internal/rpc"
 	"repro/internal/testutil"
 	"repro/internal/trace"
@@ -49,6 +51,42 @@ func TestSummaryGolden(t *testing.T) {
 	if !strings.Contains(b.String(), "offered:   unpaced over 8 conns") {
 		t.Errorf("unpaced summary:\n%s", b.String())
 	}
+}
+
+// TestSummaryNodesGolden pins the -nodes (plane-routed) report format:
+// the routing counters and per-node health lines.
+func TestSummaryNodesGolden(t *testing.T) {
+	s := summary{
+		Target:       "3-node plane via http://127.0.0.1:7070",
+		ModelVersion: 2,
+		Codec:        rpc.CodecBinary,
+		Conns:        8,
+		Chunk:        64,
+		TargetQPS:    40000,
+		Elapsed:      10*time.Second + 12*time.Millisecond,
+		Requests:     6240,
+		Placements:   399360,
+		Errors:       0,
+		Client:       rpc.ClientStats{Requests: 18720, Sheds: 4, Retries: 4, Failures: 0},
+		Router: metrics.RouterSnapshot{
+			Batches: 6240, Jobs: 399360, Groups: 24960, Dispatches: 18725,
+			Reroutes: 2, Failovers: 1, Failures: 0, Probes: 120, ProbeFailures: 3,
+			WeightDecays: 1,
+		},
+		Nodes: []router.NodeState{
+			{URL: "http://127.0.0.1:7070", Healthy: true, Weight: 1},
+			{URL: "http://127.0.0.1:7071", Healthy: true, Weight: 0.5},
+			{URL: "http://127.0.0.1:7072", Healthy: false, Weight: 0.25},
+		},
+		AchievedQPS: 39888.3,
+		P50ms:       2.12,
+		P95ms:       4.31,
+		P99ms:       6.55,
+		MaxMs:       21.7,
+	}
+	var b bytes.Buffer
+	writeSummary(&b, s)
+	testutil.Golden(t, "testdata/summary_nodes.golden", b.Bytes())
 }
 
 // TestLoadgenAgainstDaemon is the closed-loop smoke: a real daemon on
@@ -132,6 +170,64 @@ func TestLoadgenAgainstDaemon(t *testing.T) {
 	}
 }
 
+// TestLoadgenAgainstPlane drives a live 2-node plane through the
+// -nodes routed mode: zero failures, both nodes share the load, and
+// the summary reports routing state.
+func TestLoadgenAgainstPlane(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model and starts a 2-node plane")
+	}
+	gcfg := trace.DefaultGeneratorConfig("loadgen-plane", 7)
+	gcfg.DurationSec = 24 * 3600
+	gcfg.NumUsers = 4
+	tr := trace.NewGenerator(gcfg).Generate()
+	cm := cost.Default()
+	opts := core.DefaultTrainOptions()
+	opts.NumCategories = 4
+	opts.GBDT.NumRounds = 3
+	opts.GBDT.MaxDepth = 4
+	model, err := core.TrainCategoryModel(tr.Jobs, cm, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := registry.New()
+	if _, err := src.Publish("m", model, 0); err != nil {
+		t.Fatal(err)
+	}
+	plane, err := router.NewPlane(src, "m", cm, rpc.DefaultConfig(4), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plane.Close()
+
+	nodes := strings.TrimPrefix(plane.URLs()[0], "http://") + "," + strings.TrimPrefix(plane.URLs()[1], "http://")
+	var out bytes.Buffer
+	args := []string{
+		"-nodes", nodes, "-qps", "2000", "-conns", "2", "-chunk", "16",
+		"-duration", "500ms", "-days", "0.2", "-users", "3", "-codec", "binary",
+	}
+	if err := run(context.Background(), args, &out); err != nil {
+		t.Fatalf("loadgen: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{
+		"loadgen summary", "2-node plane via", "routing:", "over 2 nodes",
+		" 0 failures, 0 request errors", "node:      http://",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+	served := 0
+	for i := 0; i < 2; i++ {
+		if plane.Node(i).Stats().PlaceJobs > 0 {
+			served++
+		}
+	}
+	if served != 2 {
+		t.Errorf("%d of 2 plane nodes served placements, want both", served)
+	}
+}
+
 func TestLoadgenRejectsBadFlags(t *testing.T) {
 	ctx := context.Background()
 	var buf bytes.Buffer
@@ -152,5 +248,14 @@ func TestLoadgenRejectsBadFlags(t *testing.T) {
 	}
 	if err := run(ctx, []string{"-bogus"}, &buf); err == nil {
 		t.Error("unknown flag accepted")
+	}
+	if err := run(ctx, []string{"-nodes", "h:1,h:2", "-codec", "binary", "-stream"}, &buf); err == nil {
+		t.Error("-nodes with -stream accepted")
+	}
+	if err := run(ctx, []string{"-nodes", "h:1", "-addr", "h:2"}, &buf); err == nil {
+		t.Error("-nodes with -addr accepted")
+	}
+	if err := run(ctx, []string{"-nodes", "h:1", "-outcomes"}, &buf); err == nil {
+		t.Error("-nodes with -outcomes accepted")
 	}
 }

@@ -1,0 +1,210 @@
+// Command placementfront is the routing tier of a multi-node placement
+// plane: a stateless HTTP front that spreads incoming /v1/place traffic
+// across N placementd backends on a consistent-hash ring keyed by
+// workload template (the same key the daemons shard on), with health
+// probing, shed-aware weight decay and reroute-on-failure. Clients that
+// cannot enumerate the plane themselves point at one front; clients
+// that can (e.g. loadgen -nodes) embed the same internal/router and
+// skip the extra hop.
+//
+// Endpoints: POST /v1/place (JSON), GET /healthz (200 while at least
+// one backend is healthy), GET /varz (router + per-node state).
+//
+// Usage:
+//
+//	placementfront -addr 127.0.0.1:7080 -nodes 127.0.0.1:7070,127.0.0.1:7071
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/router"
+	"repro/internal/rpc"
+	"repro/internal/rpc/wire"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "placementfront:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("placementfront", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:7080", "listen address (host:port)")
+		nodes    = fs.String("nodes", "", "comma-separated placementd addresses (host:port), required")
+		replicas = fs.Int("replicas", 64, "virtual nodes per backend on the ring")
+		seed     = fs.Uint64("seed", 1, "ring seed (must match across fronts of one plane)")
+		bound    = fs.Float64("bound", 1.25, "bounded-load factor")
+		probe    = fs.Duration("probe", 250*time.Millisecond, "backend health-probe interval")
+		reroutes = fs.Int("reroutes", 2, "max re-dispatches per batch after backend failures")
+		codec    = fs.String("codec", rpc.CodecBinary, "backend codec: json or binary")
+		deadline = fs.Duration("deadline", 2*time.Second, "per-backend-request deadline")
+		maxBatch = fs.Int("max-batch", 4096, "max jobs per place request (0 = unlimited)")
+		drain    = fs.Duration("drain", 10*time.Second, "graceful drain deadline on shutdown")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
+	if *nodes == "" {
+		return fmt.Errorf("-nodes is required")
+	}
+	urls, err := nodeURLs(*nodes)
+	if err != nil {
+		return err
+	}
+
+	cfg := router.DefaultConfig(urls)
+	cfg.Replicas = *replicas
+	cfg.Seed = *seed
+	cfg.BoundFactor = *bound
+	cfg.ProbeInterval = *probe
+	cfg.MaxReroutes = *reroutes
+	cfg.Client.Codec = *codec
+	cfg.Client.RequestTimeout = *deadline
+	r, err := router.New(cfg)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+
+	front := &front{router: r, maxBatch: *maxBatch}
+	srv := &http.Server{Addr: *addr, Handler: front.handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.ListenAndServe() }()
+	fmt.Fprintf(stdout, "placementfront listening on http://%s over %d nodes (seed %d, %d vnodes)\n",
+		*addr, len(urls), *seed, *replicas)
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintf(stdout, "signal received, draining (deadline %s)\n", *drain)
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	drainErr := srv.Shutdown(dctx)
+	r.Stats().WriteText(stdout, "router")
+	if drainErr != nil {
+		return fmt.Errorf("drain: %w", drainErr)
+	}
+	return nil
+}
+
+// nodeURLs normalizes the -nodes list into base URLs.
+func nodeURLs(list string) ([]string, error) {
+	var urls []string
+	for _, n := range strings.Split(list, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		if !strings.HasPrefix(n, "http://") && !strings.HasPrefix(n, "https://") {
+			n = "http://" + n
+		}
+		urls = append(urls, n)
+	}
+	if len(urls) == 0 {
+		return nil, fmt.Errorf("-nodes has no addresses")
+	}
+	return urls, nil
+}
+
+// front is the HTTP routing tier over one Router.
+type front struct {
+	router   *router.Router
+	maxBatch int
+}
+
+func (f *front) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(wire.PathPlace, f.handlePlace)
+	mux.HandleFunc(wire.PathHealth, f.handleHealth)
+	mux.HandleFunc(wire.PathVarz, f.handleVarz)
+	return mux
+}
+
+// handlePlace serves POST /v1/place in JSON and fans the batch out
+// across the plane. Backend codec negotiation (binary frames,
+// pre-binning, 409 refresh) happens inside the router's node clients.
+func (f *front) handlePlace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSONError(w, http.StatusMethodNotAllowed, "method not allowed")
+		return
+	}
+	var req wire.PlaceRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20)).Decode(&req); err != nil {
+		writeJSONError(w, http.StatusBadRequest, fmt.Sprintf("decoding request: %v", err))
+		return
+	}
+	if err := req.Validate(f.maxBatch); err != nil {
+		writeJSONError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	decisions, err := f.router.Place(r.Context(), req.Jobs)
+	if err != nil {
+		writeJSONError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_ = json.NewEncoder(w).Encode(wire.PlaceResponse{Decisions: decisions})
+}
+
+// handleHealth serves GET /healthz: 200 while at least one backend is
+// healthy, 503 otherwise (the front itself is stateless).
+func (f *front) handleHealth(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	for _, ns := range f.router.Nodes() {
+		if ns.Healthy {
+			fmt.Fprintln(w, "ok")
+			return
+		}
+	}
+	w.WriteHeader(http.StatusServiceUnavailable)
+	fmt.Fprintln(w, "no healthy backends")
+}
+
+// handleVarz serves GET /varz: the router counters in the shared text
+// exposition plus one line per backend with its health state.
+func (f *front) handleVarz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	f.router.Stats().WriteText(w, "router")
+	cs := f.router.ClientStats()
+	fmt.Fprintf(w, "router_client_requests %d\n", cs.Requests)
+	fmt.Fprintf(w, "router_client_sheds %d\n", cs.Sheds)
+	fmt.Fprintf(w, "router_client_retries %d\n", cs.Retries)
+	fmt.Fprintf(w, "router_client_failures %d\n", cs.Failures)
+	for _, ns := range f.router.Nodes() {
+		healthy := 0
+		if ns.Healthy {
+			healthy = 1
+		}
+		fmt.Fprintf(w, "router_node{url=%q} healthy=%d weight=%.2f inflight=%d\n",
+			ns.URL, healthy, ns.Weight, ns.Inflight)
+	}
+}
+
+func writeJSONError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(wire.ErrorResponse{Error: msg})
+}

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/registry"
+	"repro/internal/router"
+	"repro/internal/rpc"
+	"repro/internal/rpc/wire"
+	"repro/internal/trace"
+)
+
+func TestNodeURLs(t *testing.T) {
+	got, err := nodeURLs(" 127.0.0.1:7070, http://10.0.0.2:7070 ,,")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"http://127.0.0.1:7070", "http://10.0.0.2:7070"}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("nodeURLs = %v, want %v", got, want)
+	}
+	if _, err := nodeURLs(" ,, "); err == nil {
+		t.Error("empty node list accepted")
+	}
+}
+
+// TestFrontEndpoints drives the front's handler against a live 2-node
+// plane: a JSON place request fans out and comes back in order,
+// /healthz tracks backend health, /varz exposes the router counters.
+func TestFrontEndpoints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model and starts a 2-node plane")
+	}
+	gcfg := trace.DefaultGeneratorConfig("front-test", 11)
+	gcfg.DurationSec = 24 * 3600
+	gcfg.NumUsers = 4
+	tr := trace.NewGenerator(gcfg).Generate()
+	cm := cost.Default()
+	opts := core.DefaultTrainOptions()
+	opts.NumCategories = 4
+	opts.GBDT.NumRounds = 3
+	opts.GBDT.MaxDepth = 4
+	model, err := core.TrainCategoryModel(tr.Jobs, cm, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := registry.New()
+	if _, err := src.Publish("m", model, 0); err != nil {
+		t.Fatal(err)
+	}
+	plane, err := router.NewPlane(src, "m", cm, rpc.DefaultConfig(4), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plane.Close()
+
+	rcfg := router.DefaultConfig(plane.URLs())
+	rcfg.ProbeInterval = 25 * time.Millisecond
+	rt, err := router.New(rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	f := &front{router: rt, maxBatch: 4096}
+	srv := httptest.NewServer(f.handler())
+	defer srv.Close()
+
+	jobs := tr.Jobs[:40]
+	body, _ := json.Marshal(wire.PlaceRequest{Jobs: jobs})
+	resp, err := http.Post(srv.URL+wire.PathPlace, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pr wire.PlaceResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(pr.Decisions) != len(jobs) {
+		t.Fatalf("place: status %d, %d decisions for %d jobs", resp.StatusCode, len(pr.Decisions), len(jobs))
+	}
+	for i, d := range pr.Decisions {
+		if d.JobID != jobs[i].ID {
+			t.Fatalf("decision %d carries job %q, want %q", i, d.JobID, jobs[i].ID)
+		}
+	}
+
+	if resp, err := http.Get(srv.URL + wire.PathHealth); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz with live backends: %v / %v", err, resp.Status)
+	} else {
+		resp.Body.Close()
+	}
+
+	vz, err := http.Get(srv.URL + wire.PathVarz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vb bytes.Buffer
+	_, _ = vb.ReadFrom(vz.Body)
+	vz.Body.Close()
+	for _, want := range []string{"router_batches 1", "router_jobs 40", "router_node{"} {
+		if !strings.Contains(vb.String(), want) {
+			t.Errorf("varz missing %q:\n%s", want, vb.String())
+		}
+	}
+
+	// Bad request: malformed body answers 400, not a routed call.
+	resp, err = http.Post(srv.URL+wire.PathPlace, "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed place answered %d, want 400", resp.StatusCode)
+	}
+}

@@ -1,0 +1,86 @@
+package metrics
+
+import "sync/atomic"
+
+// RouterCounters holds the placement router's dispatch counters:
+// batches and jobs routed across the plane, ring-group fan-out,
+// failure handling (reroutes, failovers) and health-probe outcomes.
+// All fields are updated atomically, so one instance is shared by
+// every routing goroutine, the prober and concurrent snapshot readers.
+type RouterCounters struct {
+	batches       atomic.Int64
+	jobs          atomic.Int64
+	groups        atomic.Int64
+	dispatches    atomic.Int64
+	reroutes      atomic.Int64
+	failovers     atomic.Int64
+	failures      atomic.Int64
+	probes        atomic.Int64
+	probeFailures atomic.Int64
+	weightDecays  atomic.Int64
+}
+
+// RecordRoute counts one routed batch: the jobs it carried, the
+// distinct template groups it split into and the per-node dispatches
+// those groups merged down to.
+func (c *RouterCounters) RecordRoute(jobs, groups, dispatches int) {
+	c.batches.Add(1)
+	c.jobs.Add(int64(jobs))
+	c.groups.Add(int64(groups))
+	c.dispatches.Add(int64(dispatches))
+}
+
+// RecordReroute counts one sub-batch moved to another node after its
+// assigned node failed the dispatch.
+func (c *RouterCounters) RecordReroute() { c.reroutes.Add(1) }
+
+// RecordFailover counts one node marked down by the router itself
+// (a failed dispatch, ahead of the next health probe).
+func (c *RouterCounters) RecordFailover() { c.failovers.Add(1) }
+
+// RecordFailure counts one batch returned to the caller with an error
+// after the reroute budget ran out.
+func (c *RouterCounters) RecordFailure() { c.failures.Add(1) }
+
+// RecordProbe counts one health-probe round trip and its outcome.
+func (c *RouterCounters) RecordProbe(ok bool) {
+	c.probes.Add(1)
+	if !ok {
+		c.probeFailures.Add(1)
+	}
+}
+
+// RecordWeightDecay counts one shed-aware weight decay applied to a
+// node observed shedding since the previous probe.
+func (c *RouterCounters) RecordWeightDecay() { c.weightDecays.Add(1) }
+
+// RouterSnapshot is a point-in-time copy of the router's counters.
+type RouterSnapshot struct {
+	Batches       int64
+	Jobs          int64
+	Groups        int64
+	Dispatches    int64
+	Reroutes      int64
+	Failovers     int64
+	Failures      int64
+	Probes        int64
+	ProbeFailures int64
+	WeightDecays  int64
+}
+
+// Snapshot copies the counters. Concurrent updates may tear between
+// fields; each individual field is consistent.
+func (c *RouterCounters) Snapshot() RouterSnapshot {
+	return RouterSnapshot{
+		Batches:       c.batches.Load(),
+		Jobs:          c.jobs.Load(),
+		Groups:        c.groups.Load(),
+		Dispatches:    c.dispatches.Load(),
+		Reroutes:      c.reroutes.Load(),
+		Failovers:     c.failovers.Load(),
+		Failures:      c.failures.Load(),
+		Probes:        c.probes.Load(),
+		ProbeFailures: c.probeFailures.Load(),
+		WeightDecays:  c.weightDecays.Load(),
+	}
+}

@@ -66,6 +66,20 @@ func (s RPCSnapshot) WriteText(w io.Writer, prefix string) {
 	writeInt(w, prefix, "max_latency_ns", int64(s.MaxLatency))
 }
 
+// WriteText renders the placement router's dispatch counters.
+func (s RouterSnapshot) WriteText(w io.Writer, prefix string) {
+	writeInt(w, prefix, "batches", s.Batches)
+	writeInt(w, prefix, "jobs", s.Jobs)
+	writeInt(w, prefix, "groups", s.Groups)
+	writeInt(w, prefix, "dispatches", s.Dispatches)
+	writeInt(w, prefix, "reroutes", s.Reroutes)
+	writeInt(w, prefix, "failovers", s.Failovers)
+	writeInt(w, prefix, "failures", s.Failures)
+	writeInt(w, prefix, "probes", s.Probes)
+	writeInt(w, prefix, "probe_failures", s.ProbeFailures)
+	writeInt(w, prefix, "weight_decays", s.WeightDecays)
+}
+
 func writeInt(w io.Writer, prefix, key string, v int64) {
 	fmt.Fprintf(w, "%s_%s %d\n", prefix, key, v)
 }

@@ -173,6 +173,21 @@ func (r *Registry) Resolve(workload string) (*core.CategoryModel, Version, error
 	return e.model, e.version, nil
 }
 
+// ResolveVersion returns one specific published version of a workload,
+// active or not. Replication (internal/router) uses it to replay a
+// source registry's publish history into a follower registry in order,
+// so version numbers stay aligned across a fleet of nodes.
+func (r *Registry) ResolveVersion(workload string, number int) (*core.CategoryModel, Version, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	es := r.entries[workload]
+	if number < 1 || number > len(es) {
+		return nil, Version{}, fmt.Errorf("registry: %q has no version %d", workload, number)
+	}
+	e := es[number-1]
+	return e.model, e.version, nil
+}
+
 // Rollback makes a previous version active again (a bad model release
 // affects only its own workload — the blast-radius property of §2.3).
 func (r *Registry) Rollback(workload string, toVersion int) error {

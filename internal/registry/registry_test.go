@@ -74,6 +74,41 @@ func TestPublishResolveRollback(t *testing.T) {
 	}
 }
 
+func TestResolveVersion(t *testing.T) {
+	r := New()
+	m1 := tinyModel(t, 1)
+	m2 := tinyModel(t, 2)
+	if _, err := r.Publish("w", m1, 100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Publish("w", m2, 200); err != nil {
+		t.Fatal(err)
+	}
+	// Roll back so the active version differs from the newest: both must
+	// stay addressable by number.
+	if err := r.Rollback("w", 1); err != nil {
+		t.Fatal(err)
+	}
+	got, v, err := r.ResolveVersion("w", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != m2 || v.Number != 2 || v.TrainedAtSec != 200 {
+		t.Errorf("ResolveVersion(2) = %+v (model match %v), want number 2 trained at 200", v, got == m2)
+	}
+	if got, v, err := r.ResolveVersion("w", 1); err != nil || got != m1 || v.Number != 1 {
+		t.Errorf("ResolveVersion(1) = %+v, %v", v, err)
+	}
+	for _, n := range []int{0, 3, -1} {
+		if _, _, err := r.ResolveVersion("w", n); err == nil {
+			t.Errorf("ResolveVersion(%d) accepted", n)
+		}
+	}
+	if _, _, err := r.ResolveVersion("ghost", 1); err == nil {
+		t.Error("ResolveVersion of unknown workload accepted")
+	}
+}
+
 func TestPublishValidation(t *testing.T) {
 	r := New()
 	if _, err := r.Publish("", tinyModel(t, 3), 0); err == nil {

@@ -1,0 +1,95 @@
+package router
+
+import (
+	"context"
+	"net/http"
+	"time"
+
+	"repro/internal/rpc/wire"
+)
+
+// probeLoop is the router's health prober: every ProbeInterval it hits
+// each node's /healthz and folds the answer — plus the node's observed
+// shed rate — into the routing weight.
+//
+// Weight dynamics:
+//
+//   - Probe failure (or non-200, e.g. 503 while draining): the node is
+//     marked down; no traffic routes to it until a probe succeeds.
+//   - Probe success after downtime: the node re-enters at reduced
+//     weight (0.25) and ramps back up, so a restarted node refills
+//     gradually instead of absorbing its full key range while cold.
+//   - Sheds observed since the last probe (the node's client saw 429s):
+//     weight halves, floored at 0.05 — the bounded-load walk spills
+//     more of the node's templates to neighbours while it is
+//     overloaded, without taking it out of rotation.
+//   - Clean interval: weight recovers by +0.25 up to 1.
+func (r *Router) probeLoop() {
+	defer close(r.probeDone)
+	hc := &http.Client{Timeout: r.cfg.ProbeTimeout}
+	ticker := time.NewTicker(r.cfg.ProbeInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.probeStop:
+			return
+		case <-ticker.C:
+			r.probeAll(hc)
+		}
+	}
+}
+
+// probeAll runs one probe round over every node.
+func (r *Router) probeAll(hc *http.Client) {
+	r.mu.RLock()
+	nodes := make([]*node, 0, len(r.nodes))
+	for _, n := range r.nodes {
+		nodes = append(nodes, n)
+	}
+	r.mu.RUnlock()
+	for _, n := range nodes {
+		ok := probeHealthz(hc, n.url)
+		r.counters.RecordProbe(ok)
+		sheds := n.client.Stats().Sheds
+		n.mu.Lock()
+		wasHealthy := n.healthy
+		shedDelta := sheds - n.lastSheds
+		n.lastSheds = sheds
+		switch {
+		case !ok:
+			n.healthy = false
+		case !wasHealthy:
+			// Recovery: back in rotation at reduced weight.
+			n.healthy = true
+			n.weight = 0.25
+		case shedDelta > 0:
+			n.weight = n.weight / 2
+			if n.weight < 0.05 {
+				n.weight = 0.05
+			}
+			r.counters.RecordWeightDecay()
+		default:
+			n.weight += 0.25
+			if n.weight > 1 {
+				n.weight = 1
+			}
+		}
+		n.mu.Unlock()
+	}
+}
+
+// probeHealthz reports whether the node's /healthz answered 200.
+func probeHealthz(hc *http.Client, baseURL string) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), hc.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+wire.PathHealth, nil)
+	if err != nil {
+		return false
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}

@@ -1,0 +1,194 @@
+// Package router is the distributed placement plane: a consistent-hash
+// routing layer that spreads placement traffic across N placementd
+// nodes, keyed by the same per-workload template hash the serving core
+// shards on. One node owns each template, so a template's jobs land on
+// one admission shard of one node and per-template state (batching,
+// feedback) stays coherent — the single-node sharding story, scaled out.
+//
+// The pieces:
+//
+//   - Ring: a seeded virtual-node consistent-hash ring. Membership is
+//     rebuilt from the sorted member set, so join order never changes
+//     routing, and a seed change re-deals the whole ring.
+//   - Router: per-node rpc.Clients behind bounded-load routing with
+//     health probing, shed-aware weight decay and reroute-on-failure.
+//   - Replicator: bridges a source registry's Subscribe seam to every
+//     node's registry, so gated model publishes (and rollbacks)
+//     propagate fleet-wide with aligned version numbers.
+//   - Plane: an in-process N-node plane with Kill/Restart fault
+//     injection, used by the e2e tests and the loadgen smoke.
+package router
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ringPoint is one virtual node: a position on the hash circle owned by
+// a member.
+type ringPoint struct {
+	hash   uint64
+	member int32 // index into members
+}
+
+// Ring is a seeded consistent-hash ring with virtual nodes. It is not
+// safe for concurrent mutation; Router guards it with its own lock.
+// Routing is deterministic for a fixed (seed, member set): points are
+// rebuilt from the sorted member list, so the order members joined —
+// or rejoined after a failure — never influences key placement.
+type Ring struct {
+	seed     uint64
+	replicas int
+	members  []string // sorted, distinct
+	points   []ringPoint
+}
+
+// NewRing creates an empty ring with the given seed and virtual-node
+// count per member (replicas < 1 defaults to 64).
+func NewRing(seed uint64, replicas int) *Ring {
+	if replicas < 1 {
+		replicas = 64
+	}
+	return &Ring{seed: seed, replicas: replicas}
+}
+
+// Members returns the current member list, sorted.
+func (r *Ring) Members() []string {
+	out := make([]string, len(r.members))
+	copy(out, r.members)
+	return out
+}
+
+// Len returns the number of members.
+func (r *Ring) Len() int { return len(r.members) }
+
+// SetMembers replaces the membership wholesale. Duplicates collapse;
+// the input order is irrelevant.
+func (r *Ring) SetMembers(members []string) {
+	set := map[string]struct{}{}
+	r.members = r.members[:0]
+	for _, m := range members {
+		if _, dup := set[m]; dup {
+			continue
+		}
+		set[m] = struct{}{}
+		r.members = append(r.members, m)
+	}
+	sort.Strings(r.members)
+	r.rebuild()
+}
+
+// Add inserts a member (no-op if present).
+func (r *Ring) Add(member string) {
+	i := sort.SearchStrings(r.members, member)
+	if i < len(r.members) && r.members[i] == member {
+		return
+	}
+	r.members = append(r.members, "")
+	copy(r.members[i+1:], r.members[i:])
+	r.members[i] = member
+	r.rebuild()
+}
+
+// Remove deletes a member (no-op if absent).
+func (r *Ring) Remove(member string) {
+	i := sort.SearchStrings(r.members, member)
+	if i >= len(r.members) || r.members[i] != member {
+		return
+	}
+	r.members = append(r.members[:i], r.members[i+1:]...)
+	r.rebuild()
+}
+
+// rebuild recomputes every virtual node from the sorted member list.
+func (r *Ring) rebuild() {
+	n := len(r.members) * r.replicas
+	if cap(r.points) < n {
+		r.points = make([]ringPoint, 0, n)
+	}
+	r.points = r.points[:0]
+	for mi, m := range r.members {
+		base := fnvSeed(r.seed, m)
+		for v := 0; v < r.replicas; v++ {
+			r.points = append(r.points, ringPoint{
+				hash:   mix64(base + uint64(v)*0x9e3779b97f4a7c15),
+				member: int32(mi),
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Hash ties break on the (sorted) member index so the ring
+		// stays a pure function of the member set.
+		return r.points[i].member < r.points[j].member
+	})
+}
+
+// Route walks the ring clockwise from key's position over distinct
+// members, offering each to accept in ownership order. It returns the
+// first accepted member; a nil accept takes the first owner. ok is
+// false when the ring is empty or accept refused every member — the
+// bounded-load caller then falls back (see Router.assign).
+func (r *Ring) Route(key uint64, accept func(member string) bool) (member string, ok bool) {
+	if len(r.points) == 0 {
+		return "", false
+	}
+	h := mix64(key ^ r.seed)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	seen := 0
+	var offered [64]bool // member-visited set; spills to a map beyond 64
+	var spill map[int32]struct{}
+	for i := 0; i < len(r.points) && seen < len(r.members); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if int(p.member) < len(offered) {
+			if offered[p.member] {
+				continue
+			}
+			offered[p.member] = true
+		} else {
+			if spill == nil {
+				spill = map[int32]struct{}{}
+			}
+			if _, dup := spill[p.member]; dup {
+				continue
+			}
+			spill[p.member] = struct{}{}
+		}
+		seen++
+		m := r.members[p.member]
+		if accept == nil || accept(m) {
+			return m, true
+		}
+	}
+	return "", false
+}
+
+// fnvSeed hashes s with 64-bit FNV-1a folded over the ring seed.
+func fnvSeed(seed uint64, s string) uint64 {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64) ^ seed
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}
+
+// mix64 is the 64-bit finalizer (Murmur3/SplitMix style) that spreads
+// structured inputs — sequential vnode indices, 32-bit template hashes
+// — across the whole circle.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// String renders membership for error messages.
+func (r *Ring) String() string {
+	return fmt.Sprintf("ring(%d members, %d vnodes each, seed %d)", len(r.members), r.replicas, r.seed)
+}

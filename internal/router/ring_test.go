@@ -1,0 +1,175 @@
+package router
+
+import (
+	"fmt"
+	"testing"
+)
+
+// ringMembers builds n member names.
+func ringMembers(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("http://10.0.0.%d:7070", i+1)
+	}
+	return out
+}
+
+// TestRingMembershipOrderIrrelevant pins the determinism contract:
+// routing is a pure function of (seed, member set) — the order members
+// joined, rejoined, or were listed never changes key placement.
+func TestRingMembershipOrderIrrelevant(t *testing.T) {
+	members := ringMembers(5)
+	const K = 1000
+
+	canonical := NewRing(7, 64)
+	canonical.SetMembers(members)
+
+	// Same set, reversed listing.
+	reversed := NewRing(7, 64)
+	rev := make([]string, len(members))
+	for i, m := range members {
+		rev[len(members)-1-i] = m
+	}
+	reversed.SetMembers(rev)
+
+	// Same set, built by incremental joins in a scrambled order.
+	joined := NewRing(7, 64)
+	for _, i := range []int{2, 0, 4, 1, 3} {
+		joined.Add(members[i])
+	}
+
+	// Same set after a leave + rejoin (the Restart path).
+	rejoined := NewRing(7, 64)
+	rejoined.SetMembers(members)
+	rejoined.Remove(members[2])
+	rejoined.Add(members[2])
+
+	for k := uint64(0); k < K; k++ {
+		want, ok := canonical.Route(k, nil)
+		if !ok {
+			t.Fatal("route on a populated ring failed")
+		}
+		for name, r := range map[string]*Ring{"reversed": reversed, "joined": joined, "rejoined": rejoined} {
+			if got, _ := r.Route(k, nil); got != want {
+				t.Fatalf("key %d: %s ring routes to %s, canonical to %s", k, name, got, want)
+			}
+		}
+	}
+
+	// A different seed deals a different ring.
+	other := NewRing(8, 64)
+	other.SetMembers(members)
+	same := 0
+	for k := uint64(0); k < K; k++ {
+		a, _ := canonical.Route(k, nil)
+		b, _ := other.Route(k, nil)
+		if a == b {
+			same++
+		}
+	}
+	if same == K {
+		t.Error("seeds 7 and 8 produced identical rings")
+	}
+}
+
+// TestRingRouteWalk checks the accept walk: owners are offered in ring
+// order, each distinct member exactly once, and a ring whose members
+// all refuse reports !ok.
+func TestRingRouteWalk(t *testing.T) {
+	members := ringMembers(4)
+	r := NewRing(1, 64)
+	r.SetMembers(members)
+
+	var offered []string
+	_, ok := r.Route(42, func(m string) bool {
+		offered = append(offered, m)
+		return false
+	})
+	if ok {
+		t.Error("route succeeded though accept refused everyone")
+	}
+	if len(offered) != len(members) {
+		t.Fatalf("walk offered %d members, want %d", len(offered), len(members))
+	}
+	seen := map[string]bool{}
+	for _, m := range offered {
+		if seen[m] {
+			t.Fatalf("walk offered %s twice", m)
+		}
+		seen[m] = true
+	}
+
+	// Accepting only the last-offered member routes there.
+	want := offered[len(offered)-1]
+	got, ok := r.Route(42, func(m string) bool { return m == want })
+	if !ok || got != want {
+		t.Errorf("selective accept routed to %q (%v), want %q", got, ok, want)
+	}
+
+	// Empty ring: no route.
+	if _, ok := NewRing(1, 64).Route(42, nil); ok {
+		t.Error("empty ring produced a route")
+	}
+}
+
+// TestRingRebalanceBounds is the rebalancing property test: on a
+// member leave, only the leaver's keys move; on a rejoin the original
+// placement is restored exactly; on a join, keys move only TO the new
+// member and their count stays within its fair share plus the
+// virtual-node variance slack (ceil(K/N) + K/8 for 64 vnodes).
+func TestRingRebalanceBounds(t *testing.T) {
+	const K = 2000
+	for seed := uint64(1); seed <= 3; seed++ {
+		for n := 3; n <= 6; n++ {
+			members := ringMembers(n)
+			r := NewRing(seed, 64)
+			r.SetMembers(members)
+			before := make([]string, K)
+			for k := range before {
+				before[k], _ = r.Route(uint64(k), nil)
+			}
+
+			// Leave: keys not owned by the leaver must not move.
+			r.Remove(members[0])
+			for k := range before {
+				got, _ := r.Route(uint64(k), nil)
+				if before[k] == members[0] {
+					if got == members[0] {
+						t.Fatalf("seed %d n %d: key %d still routes to removed member", seed, n, k)
+					}
+				} else if got != before[k] {
+					t.Fatalf("seed %d n %d: key %d moved %s -> %s on an unrelated leave", seed, n, k, before[k], got)
+				}
+			}
+
+			// Rejoin: placement is restored bit-for-bit.
+			r.Add(members[0])
+			for k := range before {
+				if got, _ := r.Route(uint64(k), nil); got != before[k] {
+					t.Fatalf("seed %d n %d: key %d at %s after rejoin, want %s", seed, n, k, got, before[k])
+				}
+			}
+
+			// Join: moved keys all land on the joiner, within its share.
+			joiner := "http://10.0.0.99:7070"
+			r.Add(joiner)
+			moved := 0
+			for k := range before {
+				got, _ := r.Route(uint64(k), nil)
+				if got != before[k] {
+					if got != joiner {
+						t.Fatalf("seed %d n %d: key %d moved %s -> %s, not to the joiner", seed, n, k, before[k], got)
+					}
+					moved++
+				}
+			}
+			bound := (K+n)/(n+1) + K/8 // ceil(K/N_after) + vnode-variance slack
+			if moved > bound {
+				t.Errorf("seed %d n %d: join moved %d of %d keys, bound %d", seed, n, moved, K, bound)
+			}
+			if moved == 0 {
+				t.Errorf("seed %d n %d: join moved no keys", seed, n)
+			}
+		}
+	}
+}

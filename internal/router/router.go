@@ -1,0 +1,432 @@
+package router
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/rpc"
+	"repro/internal/rpc/wire"
+	"repro/internal/serve"
+	"repro/internal/trace"
+)
+
+// Config tunes a placement router.
+type Config struct {
+	// Nodes lists the placementd base URLs ("http://host:port") the
+	// router spreads traffic over. Required, at least one.
+	Nodes []string
+	// Replicas is the virtual-node count per member (default 64).
+	Replicas int
+	// Seed deals the ring. Every router over the same plane must use
+	// the same seed, or they will disagree on template ownership
+	// (default 1).
+	Seed uint64
+	// BoundFactor is the bounded-load limit: a node accepts a template
+	// group only while its in-flight jobs stay under BoundFactor ×
+	// weight × its fair share; past it the walk spills the group to the
+	// next owner (default 1.25).
+	BoundFactor float64
+	// ProbeInterval is the /healthz probing cadence (default 250 ms).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe round trip (default ProbeInterval).
+	ProbeTimeout time.Duration
+	// MaxReroutes bounds how many times one batch may be re-dispatched
+	// after node failures before the remainder fails (default 2).
+	MaxReroutes int
+	// Client is the per-node client template; BaseURL is overridden
+	// with each node's URL. The zero value takes rpc defaults with the
+	// binary codec.
+	Client rpc.ClientConfig
+}
+
+// DefaultConfig returns router parameters for the given node URLs:
+// 64 vnodes, seed 1, 1.25 bound factor, 250 ms probes, 2 reroutes and
+// binary-codec clients.
+func DefaultConfig(nodes []string) Config {
+	ccfg := rpc.DefaultClientConfig("http://placeholder")
+	ccfg.Codec = rpc.CodecBinary
+	return Config{
+		Nodes:         nodes,
+		Replicas:      64,
+		Seed:          1,
+		BoundFactor:   1.25,
+		ProbeInterval: 250 * time.Millisecond,
+		MaxReroutes:   2,
+		Client:        ccfg,
+	}
+}
+
+// node is the router's view of one placementd instance.
+type node struct {
+	url    string
+	client *rpc.Client
+
+	mu        sync.Mutex
+	healthy   bool
+	weight    float64 // routing weight in [0.05, 1]; decays under shed
+	lastSheds int64   // client shed count at the previous probe
+	inflight  int64   // jobs dispatched and not yet answered
+}
+
+// NodeState is one node's health as the router sees it (for /varz and
+// tests).
+type NodeState struct {
+	URL      string
+	Healthy  bool
+	Weight   float64
+	Inflight int64
+}
+
+// Router spreads placement batches across a plane of placementd nodes:
+// jobs group by serve.TemplateHash, each group routes on the ring to a
+// healthy node within its load bound, groups merge into one request per
+// node, and failed dispatches mark the node down and reroute to the
+// next owner. Safe for concurrent use by many submitters.
+type Router struct {
+	cfg      Config
+	counters metrics.RouterCounters
+
+	mu    sync.RWMutex // guards ring + nodes membership and node health
+	ring  *Ring
+	nodes map[string]*node
+
+	probeStop chan struct{}
+	probeDone chan struct{}
+}
+
+// New builds a router over cfg.Nodes and starts its health prober.
+// Close stops the prober and releases the per-node clients.
+func New(cfg Config) (*Router, error) {
+	if len(cfg.Nodes) == 0 {
+		return nil, fmt.Errorf("router: needs at least one node URL")
+	}
+	if cfg.Replicas < 1 {
+		cfg.Replicas = 64
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.BoundFactor <= 1 {
+		cfg.BoundFactor = 1.25
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = 250 * time.Millisecond
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = cfg.ProbeInterval
+	}
+	if cfg.MaxReroutes < 0 {
+		return nil, fmt.Errorf("router: MaxReroutes must be >= 0, got %d", cfg.MaxReroutes)
+	}
+	if cfg.Client.Codec == "" {
+		cfg.Client = DefaultConfig(nil).Client
+	}
+	r := &Router{
+		cfg:       cfg,
+		ring:      NewRing(cfg.Seed, cfg.Replicas),
+		nodes:     map[string]*node{},
+		probeStop: make(chan struct{}),
+		probeDone: make(chan struct{}),
+	}
+	for _, url := range cfg.Nodes {
+		if _, dup := r.nodes[url]; dup {
+			return nil, fmt.Errorf("router: duplicate node %q", url)
+		}
+		ccfg := cfg.Client
+		ccfg.BaseURL = url
+		client, err := rpc.NewClient(ccfg)
+		if err != nil {
+			return nil, fmt.Errorf("router: node %q: %w", url, err)
+		}
+		// Nodes start healthy at full weight: traffic flows before the
+		// first probe lands, and a dead node is caught by its first
+		// failed dispatch anyway.
+		r.nodes[url] = &node{url: url, client: client, healthy: true, weight: 1}
+	}
+	r.ring.SetMembers(cfg.Nodes)
+	go r.probeLoop()
+	return r, nil
+}
+
+// Close stops the prober and closes every node client.
+func (r *Router) Close() {
+	close(r.probeStop)
+	<-r.probeDone
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, n := range r.nodes {
+		n.client.Close()
+	}
+}
+
+// Stats returns the router's dispatch-counter snapshot.
+func (r *Router) Stats() metrics.RouterSnapshot { return r.counters.Snapshot() }
+
+// Nodes returns every node's health state, sorted by URL.
+func (r *Router) Nodes() []NodeState {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]NodeState, 0, len(r.nodes))
+	for _, n := range r.nodes {
+		n.mu.Lock()
+		out = append(out, NodeState{URL: n.url, Healthy: n.healthy, Weight: n.weight, Inflight: n.inflight})
+		n.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].URL < out[j].URL })
+	return out
+}
+
+// ClientStats merges every node client's operation counters.
+func (r *Router) ClientStats() rpc.ClientStats {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var total rpc.ClientStats
+	for _, n := range r.nodes {
+		s := n.client.Stats()
+		total.Requests += s.Requests
+		total.Sheds += s.Sheds
+		total.Retries += s.Retries
+		total.Failures += s.Failures
+	}
+	return total
+}
+
+// RouteKey returns the ring member that owns a template key right now,
+// health and load aside — the pure ownership view, for tests and ops.
+func (r *Router) RouteKey(key uint32) (string, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.ring.Route(uint64(key), nil)
+}
+
+// group is one template's slice of a batch: the routing key and the
+// positions of its jobs in the caller's order.
+type group struct {
+	key     uint32
+	indices []int
+}
+
+// Place requests decisions for a batch of jobs across the plane,
+// returning them in input order. Jobs group by template hash, each
+// group routes to its ring owner (skipping unhealthy or over-bound
+// nodes), and node failures reroute the affected groups to the next
+// owner up to MaxReroutes times.
+func (r *Router) Place(ctx context.Context, jobs []*trace.Job) ([]wire.Decision, error) {
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("router: place request has no jobs")
+	}
+	groups := groupByTemplate(jobs)
+	out := make([]wire.Decision, len(jobs))
+
+	pending := groups
+	excluded := map[string]bool{}
+	dispatches := 0
+	for attempt := 0; ; attempt++ {
+		assign, err := r.assign(pending, excluded)
+		if err != nil {
+			r.counters.RecordFailure()
+			return nil, err
+		}
+		dispatches += len(assign)
+		failed := r.dispatch(ctx, jobs, out, assign)
+		if len(failed) == 0 {
+			r.counters.RecordRoute(len(jobs), len(groups), dispatches)
+			return out, nil
+		}
+		if ctx.Err() != nil {
+			r.counters.RecordFailure()
+			return nil, ctx.Err()
+		}
+		if attempt >= r.cfg.MaxReroutes {
+			r.counters.RecordFailure()
+			return nil, fmt.Errorf("router: %d jobs still failing after %d reroutes: %w",
+				countJobs(failed), attempt, failed[0].err)
+		}
+		// Re-split the failed node batches back into template groups and
+		// re-route with the failed nodes excluded for this batch.
+		pending = nil
+		for _, f := range failed {
+			excluded[f.url] = true
+			pending = append(pending, f.groups...)
+			r.counters.RecordReroute()
+		}
+	}
+}
+
+// PlaceOne routes a single job.
+func (r *Router) PlaceOne(ctx context.Context, j *trace.Job) (wire.Decision, error) {
+	ds, err := r.Place(ctx, []*trace.Job{j})
+	if err != nil {
+		return wire.Decision{}, err
+	}
+	return ds[0], nil
+}
+
+// groupByTemplate splits a batch into per-template groups in first-seen
+// order.
+func groupByTemplate(jobs []*trace.Job) []group {
+	byKey := map[uint32]int{}
+	var groups []group
+	for i, j := range jobs {
+		key := serve.TemplateHash(j)
+		gi, ok := byKey[key]
+		if !ok {
+			gi = len(groups)
+			byKey[key] = gi
+			groups = append(groups, group{key: key})
+		}
+		groups[gi].indices = append(groups[gi].indices, i)
+	}
+	return groups
+}
+
+// nodeBatch is the merged per-node dispatch unit: the groups a node
+// owns this attempt and their flattened job positions.
+type nodeBatch struct {
+	url     string
+	groups  []group
+	indices []int
+	err     error
+}
+
+// assign routes every group to a node and merges groups per node. The
+// bounded-load walk offers each group to owners in ring order and takes
+// the first healthy node whose in-flight jobs stay within BoundFactor ×
+// weight × fair share; if every owner is over bound (but some are
+// healthy), the group falls back to its first healthy owner — progress
+// beats the bound when the whole plane is saturated.
+func (r *Router) assign(groups []group, excluded map[string]bool) ([]*nodeBatch, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+
+	live, totalInflight := 0, int64(0)
+	var weightSum float64
+	for url, n := range r.nodes {
+		if excluded[url] {
+			continue
+		}
+		n.mu.Lock()
+		if n.healthy {
+			live++
+			weightSum += n.weight
+			totalInflight += n.inflight
+		}
+		n.mu.Unlock()
+	}
+	if live == 0 {
+		return nil, fmt.Errorf("router: no live nodes (%d configured, %d excluded this batch)", len(r.nodes), len(excluded))
+	}
+
+	byNode := map[string]*nodeBatch{}
+	var order []*nodeBatch
+	for _, g := range groups {
+		gsize := int64(len(g.indices))
+		// One node's fair share of the plane-wide in-flight load,
+		// scaled by its health weight; the +gsize term keeps the bound
+		// meaningful when the plane is idle.
+		var fallback string
+		accept := func(url string) bool {
+			if excluded[url] {
+				return false
+			}
+			n := r.nodes[url]
+			n.mu.Lock()
+			defer n.mu.Unlock()
+			if !n.healthy {
+				return false
+			}
+			if fallback == "" {
+				fallback = url
+			}
+			share := (n.weight / weightSum) * float64(totalInflight+gsize)
+			bound := int64(math.Ceil(r.cfg.BoundFactor * (share + float64(gsize))))
+			return n.inflight+gsize <= bound
+		}
+		url, ok := r.ring.Route(uint64(g.key), accept)
+		if !ok {
+			if fallback == "" {
+				return nil, fmt.Errorf("router: no live owner for template %08x", g.key)
+			}
+			url = fallback
+		}
+		nb := byNode[url]
+		if nb == nil {
+			nb = &nodeBatch{url: url}
+			byNode[url] = nb
+			order = append(order, nb)
+		}
+		nb.groups = append(nb.groups, g)
+		nb.indices = append(nb.indices, g.indices...)
+		// Count the assignment immediately so later groups in this same
+		// batch see the updated load.
+		n := r.nodes[url]
+		n.mu.Lock()
+		n.inflight += gsize
+		n.mu.Unlock()
+		totalInflight += gsize
+	}
+	return order, nil
+}
+
+// dispatch sends every node batch concurrently, scatters decisions into
+// out at their original positions, and returns the batches whose node
+// failed (marking those nodes down).
+func (r *Router) dispatch(ctx context.Context, jobs []*trace.Job, out []wire.Decision, batches []*nodeBatch) []*nodeBatch {
+	var wg sync.WaitGroup
+	for _, nb := range batches {
+		nb := nb
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.mu.RLock()
+			n := r.nodes[nb.url]
+			r.mu.RUnlock()
+			sub := make([]*trace.Job, len(nb.indices))
+			for i, idx := range nb.indices {
+				sub[i] = jobs[idx]
+			}
+			ds, err := n.client.Place(ctx, sub)
+			n.mu.Lock()
+			n.inflight -= int64(len(nb.indices))
+			if err != nil && ctx.Err() == nil {
+				// Any dispatch failure — connection refused, reset
+				// mid-body, retries exhausted — downs the node until a
+				// probe brings it back; the batch reroutes.
+				if n.healthy {
+					n.healthy = false
+					r.counters.RecordFailover()
+				}
+			}
+			n.mu.Unlock()
+			if err != nil {
+				nb.err = err
+				return
+			}
+			for i, idx := range nb.indices {
+				out[idx] = ds[i]
+			}
+		}()
+	}
+	wg.Wait()
+	var failed []*nodeBatch
+	for _, nb := range batches {
+		if nb.err != nil {
+			failed = append(failed, nb)
+		}
+	}
+	return failed
+}
+
+// countJobs sums the job positions across node batches.
+func countJobs(batches []*nodeBatch) int {
+	n := 0
+	for _, nb := range batches {
+		n += len(nb.indices)
+	}
+	return n
+}

@@ -1,0 +1,185 @@
+package router
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/serve"
+)
+
+// TestRouterSpreadsByTemplate checks the routing contract on a healthy
+// plane: every job gets a decision in input order, a template's jobs
+// all land on the ring owner for its hash, and traffic spreads over
+// more than one node.
+func TestRouterSpreadsByTemplate(t *testing.T) {
+	fx := testFixture(t)
+	p, _ := newTestPlane(t, 3)
+	r := newTestRouter(t, p)
+
+	jobs := fx.jobs[:600]
+	for lo := 0; lo < len(jobs); lo += 50 {
+		ds, err := r.Place(context.Background(), jobs[lo:lo+50])
+		if err != nil {
+			t.Fatalf("place at %d: %v", lo, err)
+		}
+		for i, d := range ds {
+			if d.JobID != jobs[lo+i].ID {
+				t.Fatalf("decision %d carries job %q, want %q", lo+i, d.JobID, jobs[lo+i].ID)
+			}
+			if d.ModelVersion != 1 {
+				t.Fatalf("decision %d served by v%d, want v1", lo+i, d.ModelVersion)
+			}
+		}
+	}
+
+	// All placements arrived somewhere, and at a plane-wide total that
+	// matches what was sent.
+	nodesHit, total := 0, int64(0)
+	var snaps []metrics.RPCSnapshot
+	for i := 0; i < 3; i++ {
+		snap := p.Node(i).Stats()
+		snaps = append(snaps, snap)
+		total += snap.PlaceJobs
+		if snap.PlaceJobs > 0 {
+			nodesHit++
+		}
+	}
+	if total != int64(len(jobs)) {
+		t.Errorf("plane served %d placements, want %d (per node: %+v)", total, len(jobs), snaps)
+	}
+	if nodesHit < 2 {
+		t.Errorf("traffic hit %d of 3 nodes; the ring is not spreading", nodesHit)
+	}
+	rs := r.Stats()
+	if rs.Batches != int64(len(jobs)/50) || rs.Jobs != int64(len(jobs)) || rs.Failures != 0 {
+		t.Errorf("router stats %+v", rs)
+	}
+}
+
+// TestRouterOwnershipConsistency pins that Place honours ring
+// ownership: with all nodes healthy and idle, a single-template batch
+// lands exactly on RouteKey's node.
+func TestRouterOwnershipConsistency(t *testing.T) {
+	fx := testFixture(t)
+	p, _ := newTestPlane(t, 3)
+	r := newTestRouter(t, p)
+
+	job := fx.jobs[0]
+	owner, ok := r.RouteKey(serve.TemplateHash(job))
+	if !ok {
+		t.Fatal("no owner for the test template")
+	}
+	if _, err := r.PlaceOne(context.Background(), job); err != nil {
+		t.Fatal(err)
+	}
+	urls := p.URLs()
+	for i, url := range urls {
+		snap := p.Node(i).Stats()
+		if url == owner && snap.PlaceJobs != 1 {
+			t.Errorf("owner %s served %d jobs, want 1", url, snap.PlaceJobs)
+		}
+		if url != owner && snap.PlaceJobs != 0 {
+			t.Errorf("non-owner %s served %d jobs, want 0", url, snap.PlaceJobs)
+		}
+	}
+}
+
+// TestRouterReroutesAroundDeadNode kills one node and checks every
+// batch still places: dispatches to the dead node fail over to the
+// next ring owner with zero caller-visible errors, and the router
+// marks the node down.
+func TestRouterReroutesAroundDeadNode(t *testing.T) {
+	fx := testFixture(t)
+	p, _ := newTestPlane(t, 3)
+	// Probes are pushed out of the picture so the dead node is
+	// discovered by the dispatch path itself, not the health loop.
+	cfg := DefaultConfig(p.URLs())
+	cfg.ProbeInterval = time.Minute
+	cfg.MaxReroutes = 3
+	cfg.Client.RetryBackoff = time.Millisecond
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Close)
+
+	if err := p.Kill(1); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+	jobs := fx.jobs[:400]
+	for lo := 0; lo < len(jobs); lo += 50 {
+		if _, err := r.Place(context.Background(), jobs[lo:lo+50]); err != nil {
+			t.Fatalf("place at %d with a dead node: %v", lo, err)
+		}
+	}
+	rs := r.Stats()
+	if rs.Failovers < 1 || rs.Reroutes < 1 {
+		t.Errorf("router recorded %d failovers / %d reroutes against a dead node, want >= 1 each", rs.Failovers, rs.Reroutes)
+	}
+	if rs.Failures != 0 {
+		t.Errorf("router failed %d batches, want 0", rs.Failures)
+	}
+	deadURL := p.URLs()[1]
+	for _, ns := range r.Nodes() {
+		if ns.URL == deadURL && ns.Healthy {
+			t.Error("dead node still marked healthy after failed dispatches")
+		}
+	}
+
+	// The surviving nodes served everything.
+	total := p.Node(0).Stats().PlaceJobs + p.Node(2).Stats().PlaceJobs
+	if total != int64(len(jobs)) {
+		t.Errorf("survivors served %d placements, want %d", total, len(jobs))
+	}
+}
+
+// TestRouterProbeRecovery checks the health loop end to end: a killed
+// node goes unhealthy via probing (not just dispatch failures), a
+// restarted node re-enters at reduced weight and ramps back to full.
+func TestRouterProbeRecovery(t *testing.T) {
+	p, _ := newTestPlane(t, 2)
+	r := newTestRouter(t, p)
+	url := p.URLs()[0]
+
+	state := func() (NodeState, bool) {
+		for _, ns := range r.Nodes() {
+			if ns.URL == url {
+				return ns, true
+			}
+		}
+		return NodeState{}, false
+	}
+
+	if err := p.Kill(0); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, "probe to mark the killed node down", func() bool {
+		ns, ok := state()
+		return ok && !ns.Healthy
+	})
+
+	if err := p.Restart(0); err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	var reentry float64
+	waitFor(t, 5*time.Second, "probe to readmit the restarted node", func() bool {
+		ns, ok := state()
+		if ok && ns.Healthy {
+			reentry = ns.Weight
+			return true
+		}
+		return false
+	})
+	if reentry > 0.5 {
+		t.Errorf("restarted node re-entered at weight %.2f, want a reduced ramp-in", reentry)
+	}
+	waitFor(t, 5*time.Second, "weight to ramp back to full", func() bool {
+		ns, _ := state()
+		return ns.Weight == 1
+	})
+	if rs := r.Stats(); rs.Probes == 0 || rs.ProbeFailures == 0 {
+		t.Errorf("probe counters %+v, want both probes and failures > 0", rs)
+	}
+}

@@ -7,7 +7,6 @@ import (
 	"fmt"
 	"io"
 	"net/http"
-	"time"
 
 	"repro/internal/features"
 	"repro/internal/rpc/wire"
@@ -49,6 +48,28 @@ func (c *Client) binaryState(ctx context.Context) (*clientBinState, error) {
 		return st, nil
 	}
 	return c.refreshBinState(ctx)
+}
+
+// reprobeBinary rate-limits recovery from the JSON-fallback latch:
+// every BinaryReprobeEvery-th fallback placement re-fetches /v1/model,
+// and only a successful fetch that advertises the binary codec clears
+// the latch. Transient fetch failures keep the latch — the placement at
+// hand proceeds over JSON instead of failing on a probe. Reports
+// whether the caller should take the binary path now.
+func (c *Client) reprobeBinary(ctx context.Context) bool {
+	every := int64(c.cfg.BinaryReprobeEvery)
+	if every <= 0 {
+		return false
+	}
+	if c.jsonPlaces.Add(1)%every != 0 {
+		return false
+	}
+	st, err := c.refreshBinState(ctx)
+	if err != nil || st == nil {
+		return false
+	}
+	c.jsonOnly.Store(false)
+	return true
 }
 
 // refreshBinState re-fetches /v1/model and rebuilds the encoder and
@@ -198,14 +219,9 @@ func (c *Client) placeBinary(ctx context.Context, jobs []*trace.Job) (decisions 
 			c.failures.Add(1)
 			return nil, true, fmt.Errorf("rpc: POST %s still shed after %d retries: %w", wire.PathPlace, attempt, err)
 		}
-		select {
-		case <-time.After(backoff):
-		case <-ctx.Done():
+		if serr := c.sleepBackoff(ctx, &backoff); serr != nil {
 			c.failures.Add(1)
-			return nil, true, ctx.Err()
-		}
-		if backoff < time.Second {
-			backoff *= 2
+			return nil, true, serr
 		}
 		c.retries.Add(1)
 	}

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"strings"
 	"sync"
@@ -40,9 +41,24 @@ type ClientConfig struct {
 	// MaxRetries bounds re-sends after a shed (429) response; other
 	// failures are returned immediately (default 3).
 	MaxRetries int
-	// RetryBackoff is the first retry's sleep; it doubles per retry
-	// (default 2 ms).
+	// RetryBackoff is the first retry's base sleep; it doubles per
+	// retry (default 2 ms). Every sleep is jittered into [base/2, base)
+	// by a seeded PRNG, so a fleet of clients shed by the same overload
+	// burst desynchronizes instead of retrying in lockstep.
 	RetryBackoff time.Duration
+	// JitterSeed seeds the retry-jitter PRNG. 0 (the default) derives a
+	// unique per-client seed, so concurrent clients jitter
+	// independently; tests pin a nonzero seed for reproducible sleeps.
+	JitterSeed uint64
+	// BinaryReprobeEvery caps recovery from the JSON-fallback latch:
+	// when a binary-preferring client has latched JSON (the daemon
+	// answered 415 or omitted the bin schema), every Nth fallback
+	// placement re-fetches /v1/model and switches back to binary if the
+	// daemon speaks it again — a daemon restarted with binary
+	// re-enabled is picked up without restarting its clients. 0
+	// defaults to 256; negative disables re-probing (the latch is then
+	// permanent).
+	BinaryReprobeEvery int
 	// Transport overrides the HTTP transport (nil = a shared keep-alive
 	// transport sized for many concurrent connections).
 	Transport http.RoundTripper
@@ -83,13 +99,24 @@ type Client struct {
 	failures atomic.Int64
 
 	// Binary-codec state: the model's bin schema + encoder, pinned to a
-	// version and refreshed on 409; jsonOnly latches the permanent JSON
-	// fallback against daemons that don't speak binary; scratch pools
-	// the per-call encode/decode buffers.
-	binState atomic.Pointer[clientBinState]
-	jsonOnly atomic.Bool
-	scratch  sync.Pool
+	// version and refreshed on 409; jsonOnly latches the JSON fallback
+	// against daemons that don't speak binary (re-probed every
+	// BinaryReprobeEvery fallback placements, counted by jsonPlaces);
+	// scratch pools the per-call encode/decode buffers.
+	binState   atomic.Pointer[clientBinState]
+	jsonOnly   atomic.Bool
+	jsonPlaces atomic.Int64
+	scratch    sync.Pool
+
+	// jitter drives the retry-backoff jitter; guarded by jitterMu so
+	// concurrent retriers draw independent offsets.
+	jitterMu sync.Mutex
+	jitter   *rand.Rand
 }
+
+// clientSeq distinguishes the derived jitter seeds of clients created
+// in the same nanosecond.
+var clientSeq atomic.Uint64
 
 // NewClient builds a client for the daemon at cfg.BaseURL.
 func NewClient(cfg ClientConfig) (*Client, error) {
@@ -109,6 +136,9 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	if cfg.RetryBackoff <= 0 {
 		cfg.RetryBackoff = 2 * time.Millisecond
 	}
+	if cfg.BinaryReprobeEvery == 0 {
+		cfg.BinaryReprobeEvery = 256
+	}
 	switch cfg.Codec {
 	case "", CodecJSON, CodecBinary:
 	default:
@@ -126,18 +156,52 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	}
 	c := &Client{cfg: cfg, hc: &http.Client{Transport: rt}}
 	c.scratch.New = func() any { return &clientScratch{} }
+	seed := cfg.JitterSeed
+	if seed == 0 {
+		seed = uint64(time.Now().UnixNano()) ^ clientSeq.Add(1)<<32
+	}
+	c.jitter = rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
 	return c, nil
+}
+
+// jitterBackoff maps a base backoff to a uniformly jittered sleep in
+// [base/2, base): retries keep their doubling envelope, but two clients
+// shed by the same burst reschedule at different instants.
+func (c *Client) jitterBackoff(base time.Duration) time.Duration {
+	half := base / 2
+	if half <= 0 {
+		return base
+	}
+	c.jitterMu.Lock()
+	j := c.jitter.Int64N(int64(half))
+	c.jitterMu.Unlock()
+	return half + time.Duration(j)
+}
+
+// sleepBackoff sleeps one jittered backoff step and doubles the base
+// for the next retry (capped at 1 s). It returns ctx.Err() when the
+// caller's context ends first.
+func (c *Client) sleepBackoff(ctx context.Context, backoff *time.Duration) error {
+	select {
+	case <-time.After(c.jitterBackoff(*backoff)):
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	if *backoff < time.Second {
+		*backoff *= 2
+	}
+	return nil
 }
 
 // Place requests decisions for a batch of jobs, in order.
 func (c *Client) Place(ctx context.Context, jobs []*trace.Job) ([]wire.Decision, error) {
-	if c.cfg.Codec == CodecBinary && !c.jsonOnly.Load() {
+	if c.cfg.Codec == CodecBinary && (!c.jsonOnly.Load() || c.reprobeBinary(ctx)) {
 		decisions, handled, err := c.placeBinary(ctx, jobs)
 		if handled {
 			return decisions, err
 		}
 		// The daemon doesn't speak binary; fall through to JSON, now
-		// latched for the client's lifetime.
+		// latched until the next scheduled re-probe (if enabled).
 	}
 	var resp wire.PlaceResponse
 	err := c.do(ctx, http.MethodPost, wire.PathPlace, wire.PlaceRequest{Jobs: jobs}, &resp)
@@ -224,14 +288,9 @@ func (c *Client) do(ctx context.Context, method, path string, body, into any) er
 			c.failures.Add(1)
 			return fmt.Errorf("rpc: %s %s still shed after %d retries: %w", method, path, attempt, err)
 		}
-		select {
-		case <-time.After(backoff):
-		case <-ctx.Done():
+		if err := c.sleepBackoff(ctx, &backoff); err != nil {
 			c.failures.Add(1)
-			return ctx.Err()
-		}
-		if backoff < time.Second {
-			backoff *= 2
+			return err
 		}
 		c.retries.Add(1)
 	}

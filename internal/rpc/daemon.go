@@ -253,6 +253,41 @@ func (d *Daemon) Shutdown(ctx context.Context) error {
 	return first
 }
 
+// Kill hard-stops the daemon without a drain — what a crash or SIGKILL
+// looks like to its peers: the listener and every active connection
+// (including hijacked streams) close immediately, severing in-flight
+// requests mid-frame, then the serving core is torn down. Requests that
+// were already queued to the shard workers still complete internally;
+// their responses are simply lost with the connections, exactly as on a
+// real crash. Fault-injection tests use this to exercise client-side
+// rerouting; operators want Shutdown.
+func (d *Daemon) Kill() error {
+	d.draining.Store(true)
+	var first error
+	// http.Server.Close severs the listener and all tracked conns and
+	// returns without waiting for handlers; handlers then fail their
+	// writes on dead sockets, which is the point.
+	if err := d.http.Close(); err != nil {
+		first = err
+	}
+	if d.listener != nil {
+		<-d.served
+	}
+	// Hijacked stream connections left http.Server's tracking at
+	// upgrade; kill them explicitly and wait for their frame loops to
+	// notice the dead sockets.
+	d.streamMu.Lock()
+	for conn := range d.streamConns {
+		_ = conn.Close()
+	}
+	d.streamMu.Unlock()
+	d.streamWG.Wait()
+	if err := d.srv.Close(); err != nil && first == nil {
+		first = err
+	}
+	return first
+}
+
 // Stats returns the daemon's request-counter snapshot.
 func (d *Daemon) Stats() metrics.RPCSnapshot { return d.counters.Snapshot() }
 

@@ -3,6 +3,7 @@ package rpc
 import (
 	"bufio"
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -12,6 +13,15 @@ import (
 	"repro/internal/rpc/wire"
 	"repro/internal/trace"
 )
+
+// ErrStreamBroken marks a stream session poisoned by a transport or
+// protocol failure: the daemon died mid-frame (connection reset), was
+// killed between frames (clean EOF on a blocked read), or broke the
+// framing. The session is unusable; callers match with errors.Is,
+// reroute the batch to another node (as internal/router does) and open
+// a new session. A session the caller Closed itself reports a plain
+// error, not this one.
+var ErrStreamBroken = errors.New("rpc: stream session broken")
 
 // StreamSession is one persistent binary placement stream: a single
 // connection upgraded via POST /v1/stream, carrying length-prefixed
@@ -28,7 +38,13 @@ type StreamSession struct {
 	bw     *bufio.Writer
 	sc     clientScratch
 	closed bool
+	broken bool
 }
+
+// Broken reports whether the session was poisoned by a transport or
+// protocol failure (as opposed to a caller Close). A broken session's
+// batches must be rerouted or resent on a fresh session.
+func (s *StreamSession) Broken() bool { return s.broken }
 
 // OpenStream dials the daemon and upgrades the connection to the
 // binary streaming mode. It fails if the daemon doesn't speak binary
@@ -109,6 +125,9 @@ func (s *StreamSession) Place(ctx context.Context, jobs []*trace.Job) ([]wire.De
 	c.requests.Add(1)
 	if s.closed {
 		c.failures.Add(1)
+		if s.broken {
+			return nil, fmt.Errorf("%w: session already failed", ErrStreamBroken)
+		}
 		return nil, fmt.Errorf("rpc: stream session is closed")
 	}
 	if len(jobs) == 0 {
@@ -131,9 +150,10 @@ func (s *StreamSession) Place(ctx context.Context, jobs []*trace.Job) ([]wire.De
 		switch {
 		case err != nil:
 			s.closed = true
+			s.broken = true
 			_ = s.conn.Close()
 			c.failures.Add(1)
-			return nil, err
+			return nil, fmt.Errorf("%w: %v", ErrStreamBroken, err)
 		case code == 0:
 			if len(s.sc.bresp.Decisions) != len(jobs) {
 				c.failures.Add(1)
@@ -168,14 +188,9 @@ func (s *StreamSession) Place(ctx context.Context, jobs []*trace.Job) ([]wire.De
 				c.failures.Add(1)
 				return nil, fmt.Errorf("rpc: stream place still shed after %d retries: %s", sheds-1, msg)
 			}
-			select {
-			case <-time.After(backoff):
-			case <-ctx.Done():
+			if serr := c.sleepBackoff(ctx, &backoff); serr != nil {
 				c.failures.Add(1)
-				return nil, ctx.Err()
-			}
-			if backoff < time.Second {
-				backoff *= 2
+				return nil, serr
 			}
 			c.retries.Add(1)
 		default:

@@ -2,6 +2,7 @@ package rpc
 
 import (
 	"context"
+	"errors"
 	"testing"
 	"time"
 
@@ -130,6 +131,94 @@ func TestStreamHotSwapRefresh(t *testing.T) {
 	}
 	if ds[0].ModelVersion != 2 {
 		t.Fatalf("post-swap place served v%d, want v2", ds[0].ModelVersion)
+	}
+}
+
+// TestStreamDaemonDeathMidFrame covers the crash path: the daemon is
+// hard-killed while a place frame is outstanding (the connection is
+// reset under the client) and again between frames (the blocked read
+// sees a clean close). Both must surface ErrStreamBroken — the typed
+// signal internal/router keys rerouting on — and poison the session.
+func TestStreamDaemonDeathMidFrame(t *testing.T) {
+	if testing.Short() {
+		t.Skip("kills a live daemon; runs in the plane-e2e CI job")
+	}
+	fx := testFixture(t)
+
+	// Variant 1: killed mid-frame. A 1-slot daemon whose slot we occupy
+	// pins the in-flight frame in admission, so the kill lands while the
+	// client is blocked on its response.
+	cfg := testConfig()
+	cfg.MaxInFlightPlace = 1
+	cfg.QueueDeadline = 300 * time.Millisecond
+	d, err := NewDaemon(fx.newRegistry(t), "w", fx.cm, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	c := newCodecClient(t, d, CodecBinary)
+	s, err := c.OpenStream(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Place(context.Background(), fx.jobs[:2]); err != nil {
+		t.Fatal(err)
+	}
+	if !d.place.acquire(context.Background()) {
+		t.Fatal("could not occupy the place slot")
+	}
+	defer d.place.release()
+	kill := time.AfterFunc(50*time.Millisecond, func() { _ = d.Kill() })
+	defer kill.Stop()
+	_, err = s.Place(context.Background(), fx.jobs[2:4])
+	if !errors.Is(err, ErrStreamBroken) {
+		t.Fatalf("mid-frame kill surfaced %v, want ErrStreamBroken", err)
+	}
+	if !s.Broken() {
+		t.Error("session does not report Broken after a mid-frame kill")
+	}
+	// The poisoned session stays typed so routers can keep matching it.
+	if _, err := s.Place(context.Background(), fx.jobs[:1]); !errors.Is(err, ErrStreamBroken) {
+		t.Errorf("place on a poisoned session surfaced %v, want ErrStreamBroken", err)
+	}
+
+	// Variant 2: killed between frames. The daemon closes the hijacked
+	// connection while the session is idle; the client discovers the
+	// clean close on its next exchange.
+	d2, err := NewDaemon(fx.newRegistry(t), "w", fx.cm, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d2.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	c2 := newCodecClient(t, d2, CodecBinary)
+	s2, err := c2.OpenStream(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, err := s2.Place(context.Background(), fx.jobs[:2]); err != nil {
+		t.Fatal(err)
+	}
+	// A session the caller closes itself reports a plain closed error,
+	// not the broken marker routers reroute on.
+	s3, err := c2.OpenStream(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = s3.Close()
+	if _, err := s3.Place(context.Background(), fx.jobs[:1]); err == nil || errors.Is(err, ErrStreamBroken) {
+		t.Errorf("caller-closed session surfaced %v, want a plain closed error", err)
+	}
+	if err := d2.Kill(); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+	if _, err := s2.Place(context.Background(), fx.jobs[2:4]); !errors.Is(err, ErrStreamBroken) {
+		t.Errorf("idle-kill place surfaced %v, want ErrStreamBroken", err)
 	}
 }
 
