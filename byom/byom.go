@@ -40,6 +40,7 @@ import (
 	"repro/internal/online"
 	"repro/internal/oracle"
 	"repro/internal/policy"
+	"repro/internal/rebalance"
 	"repro/internal/registry"
 	"repro/internal/router"
 	"repro/internal/rpc"
@@ -145,6 +146,20 @@ type (
 	FleetClusterResult = fleet.ClusterResult
 	// FleetStats is a snapshot of the fleet run counters.
 	FleetStats = metrics.FleetSnapshot
+
+	// RebalanceConfig tunes the heat-aware global rebalancer: decay
+	// half-life, knapsack re-solve cadence, heat floor and the LP size
+	// cap. The zero value means sensible defaults everywhere.
+	RebalanceConfig = rebalance.Config
+	// RebalancePolicy wraps a write-time policy with the rebalancer:
+	// the inner policy proposes at write time, the periodic knapsack
+	// plan disposes (demotions and early evictions).
+	RebalancePolicy = rebalance.Policy
+	// RebalanceHeatTracker accumulates exponentially-decayed
+	// per-workload heat from outcome observations.
+	RebalanceHeatTracker = rebalance.HeatTracker
+	// RebalanceStats is a snapshot of the rebalancer counters.
+	RebalanceStats = metrics.RebalanceSnapshot
 
 	// Daemon is the network-facing placement service: the serving
 	// layer behind a JSON-over-HTTP wire protocol with per-endpoint
@@ -359,6 +374,15 @@ const (
 // TCO-savings regression gate.
 func DefaultOnlineConfig(numCategories int) OnlineConfig {
 	return online.DefaultConfig(numCategories)
+}
+
+// NewRebalancePolicy wraps a write-time placement policy with the
+// heat-aware global rebalancer: outcome observations feed a decayed
+// per-workload heat tracker, and a periodic solver re-poses SSD
+// residency as the paper's Section 3.1 knapsack, demoting workloads
+// whose realized value no longer justifies their footprint.
+func NewRebalancePolicy(inner Policy, cm *CostModel, cfg RebalanceConfig) *RebalancePolicy {
+	return rebalance.New(inner, cm, cfg)
 }
 
 // NewOnlineLearner creates the continuous-learning pipeline for a

@@ -6,10 +6,15 @@
 // test window through the closed continuous-learning loop against a
 // shared model registry (workload "cluster/<id>").
 //
+// With -rebalance, each cluster's test window is additionally replayed
+// under its own model wrapped with the heat-aware global rebalancer
+// (periodic knapsack re-solve over the in-tree simplex).
+//
 // Usage:
 //
 //	fleet -clusters 4 -seed 1 -days 4 -users 8
 //	fleet -clusters 4 -online
+//	fleet -clusters 4 -rebalance
 package main
 
 import (
@@ -49,6 +54,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		categories = fs.Int("categories", 15, "importance categories per model")
 		donor      = fs.Int("donor", 0, "donor cluster index for the transfer regime")
 		withOnline = fs.Bool("online", false, "drive the closed online-learning loop per cluster")
+		withRebal  = fs.Bool("rebalance", false, "evaluate a fourth regime: per-cluster model plus the heat-aware rebalancer")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -72,6 +78,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		ocfg.MinRetrainJobs = 200
 		ocfg.Drift.MinSamples = 200
 		cfg.Online = &ocfg
+	}
+	if *withRebal {
+		cfg.Rebalance = &byom.RebalanceConfig{}
 	}
 
 	rep, err := byom.RunFleet(cfg)

@@ -13,11 +13,13 @@
 //	loadgen -addr 127.0.0.1:7070 -codec binary    # pre-binned frames
 //	loadgen -addr 127.0.0.1:7070 -codec binary -stream  # persistent streams
 //	loadgen -nodes 127.0.0.1:7070,127.0.0.1:7071  # route across a plane
+//	loadgen -nodes 127.0.0.1:7070,127.0.0.1:7071 -outcomes  # routed feedback
 //
 // With -nodes, loadgen embeds the internal/router consistent-hash
 // routing layer instead of talking to one daemon: batches spread over
 // the plane by workload template, node failures reroute, and the
-// summary gains per-node health and routing counters.
+// summary gains per-node health and routing counters. Outcomes route
+// the same way — each lands on the node owning its job's template.
 package main
 
 import (
@@ -88,8 +90,8 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	if *stream && *codec != rpc.CodecBinary {
 		return fmt.Errorf("-stream requires -codec binary")
 	}
-	if *nodes != "" && (*stream || *outcomes || *addr != "") {
-		return fmt.Errorf("-nodes routes request/response place traffic only; drop -addr, -stream and -outcomes")
+	if *nodes != "" && (*stream || *addr != "") {
+		return fmt.Errorf("-nodes routes request/response traffic only; drop -addr and -stream")
 	}
 
 	gcfg := trace.DefaultGeneratorConfig("loadgen", *seed)
@@ -233,7 +235,15 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 				if *outcomes {
 					d0 := decs[0]
 					o := sim.Outcome{WantedSSD: d0.Admit, FracOnSSD: 1, SpilledAt: -1, EvictedAt: -1}
-					if err := client.Observe(ctx, jobs[0], d0.Category, o); err == nil {
+					// In plane mode the outcome routes by template to the
+					// node that served the decision, like the place did.
+					var oerr error
+					if rt != nil {
+						oerr = rt.Observe(ctx, jobs[0], d0.Category, o)
+					} else {
+						oerr = client.Observe(ctx, jobs[0], d0.Category, o)
+					}
+					if oerr == nil {
 						outPosts.Add(1)
 					} else {
 						errCount.Add(1)
@@ -347,8 +357,8 @@ func writeSummary(w io.Writer, s summary) {
 	fmt.Fprintf(w, "  shedding:  %d sheds, %d retries, %d failures, %d request errors\n",
 		s.Client.Sheds, s.Client.Retries, s.Client.Failures, s.Errors)
 	if len(s.Nodes) > 0 {
-		fmt.Fprintf(w, "  routing:   %d batches -> %d dispatches over %d nodes, %d reroutes, %d failovers\n",
-			s.Router.Batches, s.Router.Dispatches, len(s.Nodes), s.Router.Reroutes, s.Router.Failovers)
+		fmt.Fprintf(w, "  routing:   %d batches -> %d dispatches over %d nodes, %d reroutes, %d failovers, %d routed outcomes\n",
+			s.Router.Batches, s.Router.Dispatches, len(s.Nodes), s.Router.Reroutes, s.Router.Failovers, s.Router.Outcomes)
 		for _, ns := range s.Nodes {
 			health := "healthy"
 			if !ns.Healthy {

@@ -66,12 +66,13 @@ func TestSummaryNodesGolden(t *testing.T) {
 		Elapsed:      10*time.Second + 12*time.Millisecond,
 		Requests:     6240,
 		Placements:   399360,
+		Outcomes:     6240,
 		Errors:       0,
 		Client:       rpc.ClientStats{Requests: 18720, Sheds: 4, Retries: 4, Failures: 0},
 		Router: metrics.RouterSnapshot{
 			Batches: 6240, Jobs: 399360, Groups: 24960, Dispatches: 18725,
 			Reroutes: 2, Failovers: 1, Failures: 0, Probes: 120, ProbeFailures: 3,
-			WeightDecays: 1,
+			WeightDecays: 1, Outcomes: 6240,
 		},
 		Nodes: []router.NodeState{
 			{URL: "http://127.0.0.1:7070", Healthy: true, Weight: 1},
@@ -205,6 +206,7 @@ func TestLoadgenAgainstPlane(t *testing.T) {
 	args := []string{
 		"-nodes", nodes, "-qps", "2000", "-conns", "2", "-chunk", "16",
 		"-duration", "500ms", "-days", "0.2", "-users", "3", "-codec", "binary",
+		"-outcomes",
 	}
 	if err := run(context.Background(), args, &out); err != nil {
 		t.Fatalf("loadgen: %v\n%s", err, out.String())
@@ -217,14 +219,24 @@ func TestLoadgenAgainstPlane(t *testing.T) {
 			t.Errorf("output missing %q:\n%s", want, out.String())
 		}
 	}
+	if strings.Contains(out.String(), " 0 outcomes\n") {
+		t.Errorf("routed run posted no outcomes:\n%s", out.String())
+	}
 	served := 0
+	var outcomeReqs int64
 	for i := 0; i < 2; i++ {
 		if plane.Node(i).Stats().PlaceJobs > 0 {
 			served++
 		}
+		outcomeReqs += plane.Node(i).Stats().OutcomeRequests
 	}
 	if served != 2 {
 		t.Errorf("%d of 2 plane nodes served placements, want both", served)
+	}
+	// The routed feedback path: every posted outcome must have landed on
+	// a plane daemon's /v1/outcome (routed by template, zero failures).
+	if outcomeReqs == 0 {
+		t.Errorf("no outcome requests landed on the plane daemons")
 	}
 }
 
@@ -254,8 +266,5 @@ func TestLoadgenRejectsBadFlags(t *testing.T) {
 	}
 	if err := run(ctx, []string{"-nodes", "h:1", "-addr", "h:2"}, &buf); err == nil {
 		t.Error("-nodes with -addr accepted")
-	}
-	if err := run(ctx, []string{"-nodes", "h:1", "-outcomes"}, &buf); err == nil {
-		t.Error("-nodes with -outcomes accepted")
 	}
 }

@@ -7,8 +7,10 @@
 // that can (e.g. loadgen -nodes) embed the same internal/router and
 // skip the extra hop.
 //
-// Endpoints: POST /v1/place (JSON), GET /healthz (200 while at least
-// one backend is healthy), GET /varz (router + per-node state).
+// Endpoints: POST /v1/place (JSON), POST /v1/outcome (JSON, routed to
+// the backend owning the job's template so the feedback loop survives
+// the extra hop), GET /healthz (200 while at least one backend is
+// healthy), GET /varz (router + per-node state).
 //
 // Usage:
 //
@@ -32,6 +34,7 @@ import (
 	"repro/internal/router"
 	"repro/internal/rpc"
 	"repro/internal/rpc/wire"
+	"repro/internal/sim"
 )
 
 func main() {
@@ -137,6 +140,7 @@ type front struct {
 func (f *front) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc(wire.PathPlace, f.handlePlace)
+	mux.HandleFunc(wire.PathOutcome, f.handleOutcome)
 	mux.HandleFunc(wire.PathHealth, f.handleHealth)
 	mux.HandleFunc(wire.PathVarz, f.handleVarz)
 	return mux
@@ -167,6 +171,39 @@ func (f *front) handlePlace(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
 	_ = json.NewEncoder(w).Encode(wire.PlaceResponse{Decisions: decisions})
+}
+
+// handleOutcome serves POST /v1/outcome and routes the feedback to the
+// backend that owns the job's template on the ring — the same node
+// whose shard served the placement, so its learner and heat tracker see
+// the outcomes for the workloads they decide. Without this route the
+// feedback loop of a routed plane is severed: clients behind a front
+// could place but never report back.
+func (f *front) handleOutcome(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSONError(w, http.StatusMethodNotAllowed, "method not allowed")
+		return
+	}
+	var req wire.OutcomeRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		writeJSONError(w, http.StatusBadRequest, fmt.Sprintf("decoding request: %v", err))
+		return
+	}
+	if err := req.Validate(); err != nil {
+		writeJSONError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	o := sim.Outcome{
+		WantedSSD: req.Outcome.WantedSSD,
+		FracOnSSD: req.Outcome.FracOnSSD,
+		SpilledAt: req.Outcome.SpilledAt,
+		EvictedAt: req.Outcome.EvictedAt,
+	}
+	if err := f.router.Observe(r.Context(), req.Job, req.Category, o); err != nil {
+		writeJSONError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
 }
 
 // handleHealth serves GET /healthz: 200 while at least one backend is

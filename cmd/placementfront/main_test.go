@@ -93,6 +93,33 @@ func TestFrontEndpoints(t *testing.T) {
 		}
 	}
 
+	// Routed feedback: every decision's outcome posts back through the
+	// front and must land on a plane daemon's /v1/outcome — this is the
+	// path that 404ed when the front only routed /v1/place.
+	for i, d := range pr.Decisions {
+		oreq := wire.OutcomeRequest{
+			Job:      jobs[i],
+			Category: d.Category,
+			Outcome:  wire.Outcome{WantedSSD: d.Admit, FracOnSSD: 1, SpilledAt: -1, EvictedAt: -1},
+		}
+		ob, _ := json.Marshal(oreq)
+		oresp, err := http.Post(srv.URL+wire.PathOutcome, "application/json", bytes.NewReader(ob))
+		if err != nil {
+			t.Fatal(err)
+		}
+		oresp.Body.Close()
+		if oresp.StatusCode != http.StatusNoContent {
+			t.Fatalf("outcome %d answered %d, want 204", i, oresp.StatusCode)
+		}
+	}
+	var outcomeReqs int64
+	for i := 0; i < 2; i++ {
+		outcomeReqs += plane.Node(i).Stats().OutcomeRequests
+	}
+	if outcomeReqs != int64(len(jobs)) {
+		t.Errorf("plane daemons saw %d outcome requests, want %d", outcomeReqs, len(jobs))
+	}
+
 	if resp, err := http.Get(srv.URL + wire.PathHealth); err != nil || resp.StatusCode != http.StatusOK {
 		t.Fatalf("healthz with live backends: %v / %v", err, resp.Status)
 	} else {
@@ -106,10 +133,21 @@ func TestFrontEndpoints(t *testing.T) {
 	var vb bytes.Buffer
 	_, _ = vb.ReadFrom(vz.Body)
 	vz.Body.Close()
-	for _, want := range []string{"router_batches 1", "router_jobs 40", "router_node{"} {
+	for _, want := range []string{"router_batches 1", "router_jobs 40", "router_outcomes 40", "router_node{"} {
 		if !strings.Contains(vb.String(), want) {
 			t.Errorf("varz missing %q:\n%s", want, vb.String())
 		}
+	}
+
+	// Invalid feedback: an outcome without a job answers 400 before any
+	// routed call.
+	resp, err = http.Post(srv.URL+wire.PathOutcome, "application/json", strings.NewReader(`{"category":0}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("job-less outcome answered %d, want 400", resp.StatusCode)
 	}
 
 	// Bad request: malformed body answers 400, not a routed call.

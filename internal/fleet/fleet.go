@@ -43,6 +43,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/online"
 	"repro/internal/policy"
+	"repro/internal/rebalance"
 	"repro/internal/registry"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -71,6 +72,12 @@ type Config struct {
 	// mid-replay. Async is forced off: synchronous retrains keep the
 	// replay deterministic.
 	Online *online.Config
+	// Rebalance, when non-nil, adds a fourth evaluation regime per
+	// cluster: the cluster's own model wrapped with the heat-aware
+	// rebalancer (internal/rebalance), replayed over the same test half
+	// at the same quota. The comparison prices what the periodic
+	// knapsack re-solve adds on top of write-time-only placement.
+	Rebalance *rebalance.Config
 	// Context, when non-nil, cancels the run between cluster shards:
 	// in-flight shards drain (their servers and learners shut down
 	// cleanly) and Run returns the context's error. A cancelled run
@@ -140,6 +147,19 @@ type ClusterResult struct {
 	Global      Method
 	Transfer    Method
 	Online      *OnlineResult
+	// Rebalance is set when Config.Rebalance enabled the fourth regime:
+	// the per-cluster model plus the heat-aware rebalancer.
+	Rebalance *RebalanceResult
+}
+
+// RebalanceResult summarizes one cluster's rebalance-regime replay.
+type RebalanceResult struct {
+	Method
+	// Solves / Demotions / Evictions count the rebalancer's activity
+	// over the replay.
+	Solves    int64
+	Demotions int64
+	Evictions int64
 }
 
 // Report is the merged fleet view.
@@ -152,6 +172,7 @@ type Report struct {
 	GlobalAggTCOPct     float64
 	TransferAggTCOPct   float64
 	OnlineAggTCOPct     float64 // 0 when the loop was off
+	RebalanceAggTCOPct  float64 // 0 when the rebalance regime was off
 	TotalTestJobs       int
 	Counters            metrics.FleetSnapshot
 }
@@ -260,8 +281,9 @@ func RunWithRegistry(cfg Config, reg *registry.Registry) (*Report, error) {
 
 	// Phase 4: deterministic merge in cluster-index order.
 	rep := &Report{Clusters: results}
-	var hdd, perC, glob, transf, onl float64
+	var hdd, perC, glob, transf, onl, reb float64
 	onlineOn := cfg.Online != nil
+	rebalanceOn := cfg.Rebalance != nil
 	for i := range results {
 		r := &results[i]
 		rep.TotalTestJobs += r.TestJobs
@@ -272,6 +294,9 @@ func RunWithRegistry(cfg Config, reg *registry.Registry) (*Report, error) {
 		if r.Online != nil {
 			onl += r.Online.TCOPct / 100 * r.TotalTCOHDD
 		}
+		if r.Rebalance != nil {
+			reb += r.Rebalance.TCOSaved
+		}
 	}
 	if hdd > 0 {
 		rep.PerClusterAggTCOPct = 100 * perC / hdd
@@ -279,6 +304,9 @@ func RunWithRegistry(cfg Config, reg *registry.Registry) (*Report, error) {
 		rep.TransferAggTCOPct = 100 * transf / hdd
 		if onlineOn {
 			rep.OnlineAggTCOPct = 100 * onl / hdd
+		}
+		if rebalanceOn {
+			rep.RebalanceAggTCOPct = 100 * reb / hdd
 		}
 	}
 	rep.Counters = counters.Snapshot()
@@ -349,6 +377,15 @@ func evalCluster(env *clusterEnv, cm *cost.Model, cfg Config, reg *registry.Regi
 			TCIOPct:   r.TCIOSavingsPercent(),
 		}
 	}
+	if cfg.Rebalance != nil {
+		rr, err := evalRebalance(env, cm, *cfg.Rebalance)
+		if err != nil {
+			return nil, err
+		}
+		simulated += int64(len(env.test.Jobs))
+		counters.RecordRebalance(rr.Solves, rr.Demotions, rr.Evictions)
+		res.Rebalance = rr
+	}
 	if cfg.Online != nil {
 		or, err := runOnline(env, cm, cfg, reg)
 		if err != nil {
@@ -370,6 +407,34 @@ func evalModel(env *clusterEnv, model *core.CategoryModel, cm *cost.Model) (*sim
 		return nil, err
 	}
 	return sim.Run(env.test, p, cm, sim.Config{SSDQuota: env.quota})
+}
+
+// evalRebalance replays the cluster's test half under the per-cluster
+// model wrapped with the heat-aware rebalancer — the fourth regime. The
+// wrapped policy is built fresh per call and used sequentially, so the
+// replay is bit-deterministic regardless of the pool's worker count.
+func evalRebalance(env *clusterEnv, cm *cost.Model, rcfg rebalance.Config) (*RebalanceResult, error) {
+	p, err := policy.NewAdaptiveRanking(env.model, cm, core.DefaultAdaptiveConfig(env.model.NumCategories()))
+	if err != nil {
+		return nil, err
+	}
+	reb := rebalance.New(p, cm, rcfg)
+	r, err := sim.Run(env.test, reb, cm, sim.Config{SSDQuota: env.quota})
+	if err != nil {
+		return nil, err
+	}
+	s := reb.Stats()
+	return &RebalanceResult{
+		Method: Method{
+			TCOSaved:  r.TCOSaved,
+			TCIOSaved: r.TCIOSaved,
+			TCOPct:    r.TCOSavingsPercent(),
+			TCIOPct:   r.TCIOSavingsPercent(),
+		},
+		Solves:    s.Solves,
+		Demotions: s.Demotions,
+		Evictions: s.Evictions,
+	}, nil
 }
 
 // runPool runs fn(0..n-1) on a bounded worker pool. Each callee writes

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/cost"
+	"repro/internal/rebalance"
 )
 
 // TestFleetWorkersDeterminism is the fleet determinism contract: the
@@ -29,6 +30,52 @@ func TestFleetWorkersDeterminism(t *testing.T) {
 		}
 		if got := renderReport(rep); !bytes.Equal(baseRender, got) {
 			t.Fatalf("Workers=%d rendered report differs from Workers=1:\n--- w1\n%s\n--- w%d\n%s",
+				workers, baseRender, workers, got)
+		}
+	}
+}
+
+// TestFleetRebalanceWorkersDeterminism extends the contract to the
+// rebalance regime: the heat tracker, the knapsack solve and the
+// actuation decisions are all virtual-time driven, so the fourth
+// regime's numbers must also be bit-identical at any worker count.
+// Run under -race in CI as part of the rebalance e2e job.
+func TestFleetRebalanceWorkersDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping 3-run fleet rebalance determinism matrix in short mode")
+	}
+	run := func(workers int) *Report {
+		cfg := testConfig(t)
+		cfg.Rebalance = &rebalance.Config{SolveIntervalSec: 3600}
+		cfg.Workers = workers
+		rep, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("Workers=%d: %v", workers, err)
+		}
+		return rep
+	}
+	baseline := run(1)
+	baseRender := renderReport(baseline)
+	var solves int64
+	for _, c := range baseline.Clusters {
+		if c.Rebalance == nil {
+			t.Fatalf("cluster %s has no rebalance result", c.Cluster)
+		}
+		solves += c.Rebalance.Solves
+	}
+	if solves == 0 {
+		t.Fatalf("no rebalance solves fired across the fleet")
+	}
+	if got := baseline.Counters.RebalanceSolves; got != solves {
+		t.Errorf("fleet counter rebalance_solves = %d, cluster sum = %d", got, solves)
+	}
+	for _, workers := range []int{2, 8} {
+		rep := run(workers)
+		if !reflect.DeepEqual(stripLatency(baseline), stripLatency(rep)) {
+			t.Fatalf("Workers=%d rebalance report differs from Workers=1", workers)
+		}
+		if got := renderReport(rep); !bytes.Equal(baseRender, got) {
+			t.Fatalf("Workers=%d rendered rebalance report differs from Workers=1:\n--- w1\n%s\n--- w%d\n%s",
 				workers, baseRender, workers, got)
 		}
 	}

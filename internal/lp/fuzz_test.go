@@ -1,0 +1,152 @@
+package lp
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// encodeProblem packs a problem into the fuzz wire shape decodeProblem
+// reads back: [n, m, C..., A..., B...] with float64s little-endian.
+// Used to seed the corpus with structured problems (Beale's cycling
+// example among them) so the fuzzer starts at interesting bases.
+func encodeProblem(p Problem) []byte {
+	data := []byte{byte(len(p.C)), byte(len(p.B))}
+	put := func(v float64) {
+		data = binary.LittleEndian.AppendUint64(data, math.Float64bits(v))
+	}
+	for _, v := range p.C {
+		put(v)
+	}
+	for _, row := range p.A {
+		for _, v := range row {
+			put(v)
+		}
+	}
+	for _, v := range p.B {
+		put(v)
+	}
+	return data
+}
+
+// decodeProblem derives a well-formed problem from arbitrary bytes:
+// dimensions from the first two bytes, coefficients from successive
+// 8-byte windows (cycling when data runs short), non-finite values
+// squashed to 0 and magnitudes bounded so objectives stay comparable
+// in float64. B is folded non-negative — the fuzz target is the pivot
+// loop, not the (separately tested) ErrNegativeRHS guard.
+func decodeProblem(data []byte) Problem {
+	if len(data) < 2 {
+		data = append(data, 1, 1)
+	}
+	n := int(data[0])%8 + 1
+	m := int(data[1])%8 + 1
+	body := data[2:]
+	pos := 0
+	next := func() float64 {
+		var v float64
+		if len(body) >= 8 {
+			if pos+8 > len(body) {
+				pos = 0
+			}
+			v = math.Float64frombits(binary.LittleEndian.Uint64(body[pos : pos+8]))
+			pos += 8
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return 0
+		}
+		if math.Abs(v) > 1e6 {
+			v = math.Mod(v, 1e6)
+		}
+		return v
+	}
+	p := Problem{C: make([]float64, n), A: make([][]float64, m), B: make([]float64, m)}
+	for j := range p.C {
+		p.C[j] = next()
+	}
+	for i := range p.A {
+		p.A[i] = make([]float64, n)
+		for j := range p.A[i] {
+			p.A[i][j] = next()
+		}
+	}
+	for i := range p.B {
+		p.B[i] = math.Abs(next())
+	}
+	return p
+}
+
+// FuzzSimplex throws arbitrary problems at the solver, twice per input:
+// once through Solve (full budget) and once through solve with a
+// 3-pivot budget, so the IterationLimit path runs on essentially every
+// input instead of only on pathological ones. Contract: never panic,
+// never return NaN/Inf in X, and an Optimal claim must be backed by a
+// primal-feasible X whose value matches the reported objective.
+func FuzzSimplex(f *testing.F) {
+	f.Add(encodeProblem(bealeProblem()))
+	f.Add(encodeProblem(Problem{ // textbook optimum (2, 6)
+		C: []float64{3, 5},
+		A: [][]float64{{1, 0}, {0, 2}, {3, 2}},
+		B: []float64{4, 12, 18},
+	}))
+	f.Add(encodeProblem(Problem{ // unbounded ray along x1
+		C: []float64{1, 0},
+		A: [][]float64{{0, 1}},
+		B: []float64{5},
+	}))
+	f.Add([]byte{})
+	f.Add([]byte{7, 7})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p := decodeProblem(data)
+		for _, budget := range []int{0, 3} {
+			var (
+				s   Solution
+				err error
+			)
+			if budget == 0 {
+				s, err = Solve(p)
+			} else {
+				s, err = solve(p, budget, 1)
+			}
+			if err != nil {
+				t.Fatalf("well-formed problem rejected: %v", err)
+			}
+			if s.Status == Unbounded {
+				continue
+			}
+			for j, x := range s.X {
+				if math.IsNaN(x) || math.IsInf(x, 0) {
+					t.Fatalf("budget %d: x[%d] = %g", budget, j, x)
+				}
+			}
+			if s.Status != Optimal {
+				continue
+			}
+			var obj float64
+			for j := range s.X {
+				obj += p.C[j] * s.X[j]
+			}
+			scale := math.Abs(s.Objective) + 1
+			if math.Abs(obj-s.Objective) > 1e-5*scale {
+				t.Fatalf("objective mismatch: recomputed %g, reported %g", obj, s.Objective)
+			}
+			for j, x := range s.X {
+				if x < -1e-6 {
+					t.Fatalf("x[%d] = %g < 0", j, x)
+				}
+			}
+			for i, row := range p.A {
+				var lhs float64
+				var rowScale float64
+				for j := range row {
+					lhs += row[j] * s.X[j]
+					rowScale += math.Abs(row[j] * s.X[j])
+				}
+				if lhs > p.B[i]+1e-5*(rowScale+math.Abs(p.B[i])+1) {
+					t.Fatalf("constraint %d violated: %g > %g", i, lhs, p.B[i])
+				}
+			}
+		}
+	})
+}

@@ -67,6 +67,17 @@ const eps = 1e-9
 // switches to Bland's rule after a while to guarantee termination on
 // degenerate problems.
 func Solve(p Problem) (Solution, error) {
+	m, n := len(p.B), len(p.C)
+	return solve(p, 200*(n+m+10), 20*(n+m+10))
+}
+
+// solve is Solve with the iteration budget and the Dantzig→Bland
+// switchover point injectable, so tests can force the IterationLimit
+// path and prove Bland's rule terminates where Dantzig pricing cycles.
+// blandAfter <= 0 means Bland's rule from the first pivot. The tableau
+// stays primal-feasible at every pivot, so even an IterationLimit
+// solution's X satisfies Ax <= b, x >= 0 — callers may round it.
+func solve(p Problem, maxIter, blandAfter int) (Solution, error) {
 	m := len(p.B)
 	n := len(p.C)
 	if len(p.A) != m {
@@ -101,8 +112,6 @@ func Solve(p Problem) (Solution, error) {
 		basis[i] = n + i
 	}
 
-	maxIter := 200 * (n + m + 10)
-	blandAfter := 20 * (n + m + 10)
 	for iter := 0; iter < maxIter; iter++ {
 		// Entering column.
 		col := -1

@@ -13,6 +13,10 @@ type FleetCounters struct {
 	modelsTrained atomic.Int64
 	onlineSwaps   atomic.Int64
 	onlineRetrain atomic.Int64
+
+	rebalanceSolves    atomic.Int64
+	rebalanceDemotions atomic.Int64
+	rebalanceEvictions atomic.Int64
 }
 
 // RecordCluster counts one finished cluster shard and the jobs its
@@ -32,23 +36,36 @@ func (c *FleetCounters) RecordOnline(swaps, retrains int64) {
 	c.onlineRetrain.Add(retrains)
 }
 
+// RecordRebalance accumulates one cluster's rebalance-regime activity.
+func (c *FleetCounters) RecordRebalance(solves, demotions, evictions int64) {
+	c.rebalanceSolves.Add(solves)
+	c.rebalanceDemotions.Add(demotions)
+	c.rebalanceEvictions.Add(evictions)
+}
+
 // FleetSnapshot is a point-in-time copy of the fleet counters.
 type FleetSnapshot struct {
-	ClustersDone   int64
-	JobsSimulated  int64
-	ModelsTrained  int64
-	OnlineSwaps    int64
-	OnlineRetrains int64
+	ClustersDone       int64
+	JobsSimulated      int64
+	ModelsTrained      int64
+	OnlineSwaps        int64
+	OnlineRetrains     int64
+	RebalanceSolves    int64
+	RebalanceDemotions int64
+	RebalanceEvictions int64
 }
 
 // Snapshot copies the counters. Concurrent updates may tear between
 // fields; each individual field is consistent.
 func (c *FleetCounters) Snapshot() FleetSnapshot {
 	return FleetSnapshot{
-		ClustersDone:   c.clustersDone.Load(),
-		JobsSimulated:  c.jobsSimulated.Load(),
-		ModelsTrained:  c.modelsTrained.Load(),
-		OnlineSwaps:    c.onlineSwaps.Load(),
-		OnlineRetrains: c.onlineRetrain.Load(),
+		ClustersDone:       c.clustersDone.Load(),
+		JobsSimulated:      c.jobsSimulated.Load(),
+		ModelsTrained:      c.modelsTrained.Load(),
+		OnlineSwaps:        c.onlineSwaps.Load(),
+		OnlineRetrains:     c.onlineRetrain.Load(),
+		RebalanceSolves:    c.rebalanceSolves.Load(),
+		RebalanceDemotions: c.rebalanceDemotions.Load(),
+		RebalanceEvictions: c.rebalanceEvictions.Load(),
 	}
 }

@@ -1,0 +1,79 @@
+package metrics
+
+import "sync/atomic"
+
+// RebalanceCounters holds the heat-aware rebalancer's counters: outcome
+// observations feeding the heat tracker, knapsack re-solves and how the
+// LP ended (optimal vs greedy fallback), the workload population the
+// last solve saw, and the actuation decisions issued (write-time
+// demotions and early evictions). All fields are updated atomically, so
+// one instance can be shared between a replay loop, a daemon's outcome
+// path and concurrent snapshot readers.
+type RebalanceCounters struct {
+	observations atomic.Int64
+	solves       atomic.Int64
+	lpOptimal    atomic.Int64
+	lpFallbacks  atomic.Int64
+	workloads    atomic.Int64
+	planned      atomic.Int64
+	demotions    atomic.Int64
+	evictions    atomic.Int64
+}
+
+// RecordObservation counts one outcome observation folded into the heat
+// tracker.
+func (c *RebalanceCounters) RecordObservation() { c.observations.Add(1) }
+
+// RecordSolve counts one residency re-solve: the tracked workload count
+// it saw and how many workloads entered the plan.
+func (c *RebalanceCounters) RecordSolve(workloads, planned int) {
+	c.solves.Add(1)
+	c.workloads.Store(int64(workloads))
+	c.planned.Store(int64(planned))
+}
+
+// RecordLP counts one simplex run under a contended quota and whether
+// it converged (optimal) or the greedy rounding fallback took over
+// (iteration limit, unbounded, or solver error).
+func (c *RebalanceCounters) RecordLP(optimal bool) {
+	if optimal {
+		c.lpOptimal.Add(1)
+	} else {
+		c.lpFallbacks.Add(1)
+	}
+}
+
+// RecordDemotion counts one write-time SSD placement vetoed because the
+// plan moved the workload off SSD.
+func (c *RebalanceCounters) RecordDemotion() { c.demotions.Add(1) }
+
+// RecordEviction counts one early-eviction decision issued through the
+// simulator's Evictor seam.
+func (c *RebalanceCounters) RecordEviction() { c.evictions.Add(1) }
+
+// RebalanceSnapshot is a point-in-time copy of the rebalancer counters.
+type RebalanceSnapshot struct {
+	Observations int64
+	Solves       int64
+	LPOptimal    int64
+	LPFallbacks  int64
+	Workloads    int64
+	Planned      int64
+	Demotions    int64
+	Evictions    int64
+}
+
+// Snapshot copies the counters. Concurrent updates may tear between
+// fields; each individual field is consistent.
+func (c *RebalanceCounters) Snapshot() RebalanceSnapshot {
+	return RebalanceSnapshot{
+		Observations: c.observations.Load(),
+		Solves:       c.solves.Load(),
+		LPOptimal:    c.lpOptimal.Load(),
+		LPFallbacks:  c.lpFallbacks.Load(),
+		Workloads:    c.workloads.Load(),
+		Planned:      c.planned.Load(),
+		Demotions:    c.demotions.Load(),
+		Evictions:    c.evictions.Load(),
+	}
+}

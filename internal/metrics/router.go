@@ -18,6 +18,7 @@ type RouterCounters struct {
 	probes        atomic.Int64
 	probeFailures atomic.Int64
 	weightDecays  atomic.Int64
+	outcomes      atomic.Int64
 }
 
 // RecordRoute counts one routed batch: the jobs it carried, the
@@ -54,6 +55,10 @@ func (c *RouterCounters) RecordProbe(ok bool) {
 // node observed shedding since the previous probe.
 func (c *RouterCounters) RecordWeightDecay() { c.weightDecays.Add(1) }
 
+// RecordOutcome counts one outcome delivered to its template's owning
+// node.
+func (c *RouterCounters) RecordOutcome() { c.outcomes.Add(1) }
+
 // RouterSnapshot is a point-in-time copy of the router's counters.
 type RouterSnapshot struct {
 	Batches       int64
@@ -66,6 +71,7 @@ type RouterSnapshot struct {
 	Probes        int64
 	ProbeFailures int64
 	WeightDecays  int64
+	Outcomes      int64
 }
 
 // Snapshot copies the counters. Concurrent updates may tear between
@@ -82,5 +88,6 @@ func (c *RouterCounters) Snapshot() RouterSnapshot {
 		Probes:        c.probes.Load(),
 		ProbeFailures: c.probeFailures.Load(),
 		WeightDecays:  c.weightDecays.Load(),
+		Outcomes:      c.outcomes.Load(),
 	}
 }

@@ -47,6 +47,9 @@ func (s FleetSnapshot) WriteText(w io.Writer, prefix string) {
 	writeInt(w, prefix, "models_trained", s.ModelsTrained)
 	writeInt(w, prefix, "online_swaps", s.OnlineSwaps)
 	writeInt(w, prefix, "online_retrains", s.OnlineRetrains)
+	writeInt(w, prefix, "rebalance_solves", s.RebalanceSolves)
+	writeInt(w, prefix, "rebalance_demotions", s.RebalanceDemotions)
+	writeInt(w, prefix, "rebalance_evictions", s.RebalanceEvictions)
 }
 
 // WriteText renders the placement daemon's request counters.
@@ -66,6 +69,18 @@ func (s RPCSnapshot) WriteText(w io.Writer, prefix string) {
 	writeInt(w, prefix, "max_latency_ns", int64(s.MaxLatency))
 }
 
+// WriteText renders the heat-aware rebalancer's counters.
+func (s RebalanceSnapshot) WriteText(w io.Writer, prefix string) {
+	writeInt(w, prefix, "observations", s.Observations)
+	writeInt(w, prefix, "solves", s.Solves)
+	writeInt(w, prefix, "lp_optimal", s.LPOptimal)
+	writeInt(w, prefix, "lp_fallbacks", s.LPFallbacks)
+	writeInt(w, prefix, "workloads", s.Workloads)
+	writeInt(w, prefix, "planned", s.Planned)
+	writeInt(w, prefix, "demotions", s.Demotions)
+	writeInt(w, prefix, "evictions", s.Evictions)
+}
+
 // WriteText renders the placement router's dispatch counters.
 func (s RouterSnapshot) WriteText(w io.Writer, prefix string) {
 	writeInt(w, prefix, "batches", s.Batches)
@@ -78,6 +93,7 @@ func (s RouterSnapshot) WriteText(w io.Writer, prefix string) {
 	writeInt(w, prefix, "probes", s.Probes)
 	writeInt(w, prefix, "probe_failures", s.ProbeFailures)
 	writeInt(w, prefix, "weight_decays", s.WeightDecays)
+	writeInt(w, prefix, "outcomes", s.Outcomes)
 }
 
 func writeInt(w io.Writer, prefix, key string, v int64) {

@@ -52,8 +52,10 @@ func TestWriteTextAllTypes(t *testing.T) {
 	}{
 		{"serve", func(b *strings.Builder) { ShardSnapshot{}.WriteText(b, "serve") }, 10},
 		{"online", func(b *strings.Builder) { OnlineSnapshot{}.WriteText(b, "online") }, 10},
-		{"fleet", func(b *strings.Builder) { FleetSnapshot{}.WriteText(b, "fleet") }, 5},
+		{"fleet", func(b *strings.Builder) { FleetSnapshot{}.WriteText(b, "fleet") }, 8},
 		{"rpc", func(b *strings.Builder) { RPCSnapshot{}.WriteText(b, "rpc") }, 13},
+		{"rebalance", func(b *strings.Builder) { RebalanceSnapshot{}.WriteText(b, "rebalance") }, 8},
+		{"router", func(b *strings.Builder) { RouterSnapshot{}.WriteText(b, "router") }, 11},
 	}
 	seen := map[string]bool{}
 	for _, tc := range cases {

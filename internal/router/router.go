@@ -12,6 +12,7 @@ import (
 	"repro/internal/rpc"
 	"repro/internal/rpc/wire"
 	"repro/internal/serve"
+	"repro/internal/sim"
 	"repro/internal/trace"
 )
 
@@ -265,6 +266,70 @@ func (r *Router) PlaceOne(ctx context.Context, j *trace.Job) (wire.Decision, err
 		return wire.Decision{}, err
 	}
 	return ds[0], nil
+}
+
+// Observe routes one placement outcome to the node that owns the job's
+// template — the same serve.TemplateHash key Place routes by, so the
+// feedback lands on the daemon whose shard (and attached learner or
+// heat tracker) served that workload's decisions. A node failure marks
+// it down and retries the next ring owner, up to MaxReroutes times.
+func (r *Router) Observe(ctx context.Context, j *trace.Job, category int, o sim.Outcome) error {
+	if j == nil {
+		return fmt.Errorf("router: observe request has no job")
+	}
+	key := serve.TemplateHash(j)
+	excluded := map[string]bool{}
+	for attempt := 0; ; attempt++ {
+		url, n, err := r.owner(key, excluded)
+		if err != nil {
+			r.counters.RecordFailure()
+			return err
+		}
+		err = n.client.Observe(ctx, j, category, o)
+		if err == nil {
+			r.counters.RecordOutcome()
+			return nil
+		}
+		if ctx.Err() != nil {
+			r.counters.RecordFailure()
+			return ctx.Err()
+		}
+		n.mu.Lock()
+		if n.healthy {
+			n.healthy = false
+			r.counters.RecordFailover()
+		}
+		n.mu.Unlock()
+		if attempt >= r.cfg.MaxReroutes {
+			r.counters.RecordFailure()
+			return fmt.Errorf("router: outcome for template %08x still failing after %d reroutes: %w",
+				key, attempt, err)
+		}
+		excluded[url] = true
+		r.counters.RecordReroute()
+	}
+}
+
+// owner picks the template's first live ring owner outside excluded —
+// outcome routing skips the load bound: feedback posts are tiny and
+// must land on the owning shard, not the least-loaded one.
+func (r *Router) owner(key uint32, excluded map[string]bool) (string, *node, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	url, ok := r.ring.Route(uint64(key), func(u string) bool {
+		if excluded[u] {
+			return false
+		}
+		n := r.nodes[u]
+		n.mu.Lock()
+		h := n.healthy
+		n.mu.Unlock()
+		return h
+	})
+	if !ok {
+		return "", nil, fmt.Errorf("router: no live owner for template %08x", key)
+	}
+	return url, r.nodes[url], nil
 }
 
 // groupByTemplate splits a batch into per-template groups in first-seen

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/serve"
+	"repro/internal/sim"
 )
 
 // TestRouterSpreadsByTemplate checks the routing contract on a healthy
@@ -82,6 +83,97 @@ func TestRouterOwnershipConsistency(t *testing.T) {
 		}
 		if url != owner && snap.PlaceJobs != 0 {
 			t.Errorf("non-owner %s served %d jobs, want 0", url, snap.PlaceJobs)
+		}
+	}
+}
+
+// TestRouterObserveRoutesToOwner pins the outcome-feedback contract:
+// an outcome routes to the same ring owner the template's placements
+// route to, lands exactly once, and increments the outcomes counter.
+func TestRouterObserveRoutesToOwner(t *testing.T) {
+	fx := testFixture(t)
+	p, _ := newTestPlane(t, 3)
+	r := newTestRouter(t, p)
+
+	job := fx.jobs[0]
+	owner, ok := r.RouteKey(serve.TemplateHash(job))
+	if !ok {
+		t.Fatal("no owner for the test template")
+	}
+	d, err := r.PlaceOne(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := sim.Outcome{WantedSSD: d.Admit, FracOnSSD: 1, SpilledAt: -1, EvictedAt: -1}
+	if err := r.Observe(context.Background(), job, d.Category, o); err != nil {
+		t.Fatalf("observe: %v", err)
+	}
+	for i, url := range p.URLs() {
+		snap := p.Node(i).Stats()
+		if url == owner && snap.OutcomeRequests != 1 {
+			t.Errorf("owner %s saw %d outcomes, want 1", url, snap.OutcomeRequests)
+		}
+		if url != owner && snap.OutcomeRequests != 0 {
+			t.Errorf("non-owner %s saw %d outcomes, want 0", url, snap.OutcomeRequests)
+		}
+	}
+	if got := r.Stats().Outcomes; got != 1 {
+		t.Errorf("router outcomes counter = %d, want 1", got)
+	}
+	if err := r.Observe(context.Background(), nil, 0, o); err == nil {
+		t.Error("nil-job observe accepted")
+	}
+}
+
+// TestRouterObserveFailsOver kills the owning node: the outcome must
+// still land, rerouted to the next ring owner, with the dead node
+// marked down.
+func TestRouterObserveFailsOver(t *testing.T) {
+	fx := testFixture(t)
+	p, _ := newTestPlane(t, 3)
+	cfg := DefaultConfig(p.URLs())
+	cfg.ProbeInterval = time.Minute // dispatch path discovers the death
+	cfg.MaxReroutes = 3
+	cfg.Client.RetryBackoff = time.Millisecond
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Close)
+
+	job := fx.jobs[0]
+	owner, ok := r.RouteKey(serve.TemplateHash(job))
+	if !ok {
+		t.Fatal("no owner for the test template")
+	}
+	for i, url := range p.URLs() {
+		if url == owner {
+			if err := p.Kill(i); err != nil {
+				t.Fatalf("kill: %v", err)
+			}
+		}
+	}
+	o := sim.Outcome{WantedSSD: true, FracOnSSD: 1, SpilledAt: -1, EvictedAt: -1}
+	if err := r.Observe(context.Background(), job, 0, o); err != nil {
+		t.Fatalf("observe with dead owner: %v", err)
+	}
+	var landed int64
+	for i, url := range p.URLs() {
+		if url == owner {
+			continue
+		}
+		landed += p.Node(i).Stats().OutcomeRequests
+	}
+	if landed != 1 {
+		t.Errorf("surviving nodes saw %d outcomes, want 1", landed)
+	}
+	rs := r.Stats()
+	if rs.Outcomes != 1 || rs.Reroutes < 1 || rs.Failovers < 1 {
+		t.Errorf("router stats after failover: %+v", rs)
+	}
+	for _, ns := range r.Nodes() {
+		if ns.URL == owner && ns.Healthy {
+			t.Error("dead owner still marked healthy after failed observe")
 		}
 	}
 }

@@ -67,6 +67,12 @@ type Config struct {
 	// daemon does not manage the learner's lifecycle; /varz gains its
 	// online_* counters.
 	Learner *online.Learner
+	// OutcomeObserver, when non-nil, also receives every /v1/outcome
+	// through Observe — the hook a rebalance heat tracker uses to learn
+	// workload heat from the network feedback path. If the observer
+	// additionally implements Stats() metrics.RebalanceSnapshot, /varz
+	// gains its rebalance_* counters.
+	OutcomeObserver sim.Observer
 	// DisableBinary turns off the binary frame codec and the stream
 	// endpoint: binary requests get 415, and /v1/model omits the bin
 	// schema — the daemon then behaves exactly like a pre-binary
@@ -509,6 +515,9 @@ func (d *Daemon) handleOutcome(w http.ResponseWriter, r *http.Request) {
 	if d.cfg.Learner != nil {
 		d.cfg.Learner.Observe(req.Job, req.Category, o)
 	}
+	if d.cfg.OutcomeObserver != nil {
+		d.cfg.OutcomeObserver.Observe(req.Job, o)
+	}
 	d.counters.RecordOutcome(time.Since(start))
 	w.WriteHeader(http.StatusNoContent)
 }
@@ -545,7 +554,14 @@ func (d *Daemon) handleVarz(w http.ResponseWriter, r *http.Request) {
 		s := d.cfg.Learner.Stats()
 		onl = &s
 	}
-	writeVarz(w, d.modelInfo(), d.counters.Snapshot(), d.srv.Stats(), onl)
+	var reb *metrics.RebalanceSnapshot
+	if st, ok := d.cfg.OutcomeObserver.(interface {
+		Stats() metrics.RebalanceSnapshot
+	}); ok {
+		s := st.Stats()
+		reb = &s
+	}
+	writeVarz(w, d.modelInfo(), d.counters.Snapshot(), d.srv.Stats(), onl, reb)
 }
 
 // handleStream serves POST /v1/stream: the persistent binary streaming

@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/rebalance"
 	"repro/internal/rpc/wire"
 	"repro/internal/sim"
 )
@@ -84,6 +85,48 @@ func TestOutcomeFeedback(t *testing.T) {
 	}
 	if got := d.Stats().OutcomeRequests; got != 1 {
 		t.Errorf("outcome requests %d, want 1", got)
+	}
+}
+
+// TestOutcomeObserverFeedsHeatTracker attaches a rebalance heat
+// tracker as the daemon's outcome observer: networked /v1/outcome
+// posts must feed it, and /varz must gain the rebalance_* counters.
+func TestOutcomeObserverFeedsHeatTracker(t *testing.T) {
+	fx := testFixture(t)
+	cfg := testConfig()
+	heat := rebalance.NewHeatTracker(fx.cm, 0, nil)
+	cfg.OutcomeObserver = heat
+	d := startDaemon(t, fx.newRegistry(t), cfg)
+	c := newTestClient(t, d)
+	ctx := context.Background()
+
+	for _, j := range fx.jobs[:8] {
+		dec, err := c.PlaceOne(ctx, j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := sim.Outcome{WantedSSD: dec.Admit, FracOnSSD: 1, SpilledAt: -1, EvictedAt: -1}
+		if err := c.Observe(ctx, j, dec.Category, o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := heat.Stats().Observations; got != 8 {
+		t.Errorf("heat tracker saw %d observations, want 8", got)
+	}
+	if heat.Len() == 0 {
+		t.Error("heat tracker holds no workloads after feedback")
+	}
+
+	resp, err := http.Get(d.BaseURL() + wire.PathVarz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{"rebalance_observations 8", "rebalance_solves 0"} {
+		if !strings.Contains(string(b), want) {
+			t.Errorf("varz missing %q:\n%s", want, b)
+		}
 	}
 }
 

@@ -10,10 +10,11 @@ import (
 
 // writeVarz renders the daemon's ops page: model identity lines, then
 // the shared text expositions of the request counters and the serving
-// core, then (when a learner is attached) the online-loop counters.
-// The output is deterministic for fixed snapshot values — the golden
-// test pins it, so operators' scrapers can rely on the keys.
-func writeVarz(w io.Writer, info wire.ModelInfo, rpc metrics.RPCSnapshot, srv metrics.ShardSnapshot, onl *metrics.OnlineSnapshot) {
+// core, then (when a learner is attached) the online-loop counters and
+// (when an outcome observer with stats is attached) the rebalance
+// counters. The output is deterministic for fixed snapshot values —
+// the golden test pins it, so operators' scrapers can rely on the keys.
+func writeVarz(w io.Writer, info wire.ModelInfo, rpc metrics.RPCSnapshot, srv metrics.ShardSnapshot, onl *metrics.OnlineSnapshot, reb *metrics.RebalanceSnapshot) {
 	fmt.Fprintf(w, "placementd_workload %s\n", info.Workload)
 	fmt.Fprintf(w, "placementd_model_version %d\n", info.ModelVersion)
 	fmt.Fprintf(w, "placementd_num_categories %d\n", info.NumCategories)
@@ -28,5 +29,8 @@ func writeVarz(w io.Writer, info wire.ModelInfo, rpc metrics.RPCSnapshot, srv me
 	srv.WriteText(w, "serve")
 	if onl != nil {
 		onl.WriteText(w, "online")
+	}
+	if reb != nil {
+		reb.WriteText(w, "rebalance")
 	}
 }

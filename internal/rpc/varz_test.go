@@ -62,15 +62,26 @@ func TestVarzGolden(t *testing.T) {
 		MaxRetrainLatency:  1900 * time.Millisecond,
 	}
 
+	rebSnap := metrics.RebalanceSnapshot{
+		Observations: 512000,
+		Solves:       12,
+		LPOptimal:    11,
+		LPFallbacks:  1,
+		Workloads:    96,
+		Planned:      80,
+		Demotions:    1400,
+		Evictions:    230,
+	}
+
 	var b bytes.Buffer
-	writeVarz(&b, info, rpcSnap, srvSnap, &onlSnap)
+	writeVarz(&b, info, rpcSnap, srvSnap, &onlSnap, &rebSnap)
 	testutil.Golden(t, "testdata/varz.golden", b.Bytes())
 
-	// Without a learner the online block is absent but everything
-	// above it is byte-identical.
-	var noLearner bytes.Buffer
-	writeVarz(&noLearner, info, rpcSnap, srvSnap, nil)
-	if !bytes.HasPrefix(b.Bytes(), noLearner.Bytes()) {
-		t.Error("learner-less varz is not a prefix of the full exposition")
+	// Without a learner or rebalancer the optional blocks are absent
+	// but everything above them is byte-identical.
+	var bare bytes.Buffer
+	writeVarz(&bare, info, rpcSnap, srvSnap, nil, nil)
+	if !bytes.HasPrefix(b.Bytes(), bare.Bytes()) {
+		t.Error("bare varz is not a prefix of the full exposition")
 	}
 }

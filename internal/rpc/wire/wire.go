@@ -21,6 +21,7 @@ package wire
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/features"
 	"repro/internal/trace"
@@ -118,8 +119,20 @@ func (r *OutcomeRequest) Validate() error {
 	if err := r.Job.Validate(); err != nil {
 		return fmt.Errorf("wire: outcome job: %w", err)
 	}
+	// Range checks alone let NaN through (both comparisons are false
+	// for NaN), and a NaN fraction would poison every learner window
+	// and heat accumulator downstream — reject non-finite values first.
+	if math.IsNaN(r.Outcome.FracOnSSD) || math.IsInf(r.Outcome.FracOnSSD, 0) {
+		return fmt.Errorf("wire: outcome frac_on_ssd %g is not finite", r.Outcome.FracOnSSD)
+	}
 	if r.Outcome.FracOnSSD < 0 || r.Outcome.FracOnSSD > 1 {
 		return fmt.Errorf("wire: outcome frac_on_ssd %g outside [0,1]", r.Outcome.FracOnSSD)
+	}
+	if math.IsNaN(r.Outcome.SpilledAt) || math.IsInf(r.Outcome.SpilledAt, 0) {
+		return fmt.Errorf("wire: outcome spilled_at %g is not finite", r.Outcome.SpilledAt)
+	}
+	if math.IsNaN(r.Outcome.EvictedAt) || math.IsInf(r.Outcome.EvictedAt, 0) {
+		return fmt.Errorf("wire: outcome evicted_at %g is not finite", r.Outcome.EvictedAt)
 	}
 	return nil
 }

@@ -1,0 +1,73 @@
+package wire
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func outcomeJob() *trace.Job {
+	return &trace.Job{
+		ID:          "j1",
+		Pipeline:    "p",
+		Step:        "s",
+		ArrivalSec:  10,
+		LifetimeSec: 60,
+		SizeBytes:   1 << 20,
+		ReadBytes:   1 << 21,
+		WriteBytes:  1 << 20,
+	}
+}
+
+func TestOutcomeRequestValidate(t *testing.T) {
+	ok := OutcomeRequest{
+		Job:     outcomeJob(),
+		Outcome: Outcome{WantedSSD: true, FracOnSSD: 0.5, SpilledAt: 12, EvictedAt: -1},
+	}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid request rejected: %v", err)
+	}
+	if err := (&OutcomeRequest{}).Validate(); err == nil {
+		t.Error("request without a job accepted")
+	}
+}
+
+// TestOutcomeRequestValidateNonFinite is the regression test for the
+// NaN hole: `f < 0 || f > 1` is false for NaN, so a NaN frac_on_ssd
+// used to sail through Validate and into learner windows and heat
+// accumulators (where one NaN poisons every decayed sum forever).
+func TestOutcomeRequestValidateNonFinite(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*OutcomeRequest)
+		wantSub string
+	}{
+		{"nan frac", func(r *OutcomeRequest) { r.Outcome.FracOnSSD = math.NaN() }, "frac_on_ssd"},
+		{"+inf frac", func(r *OutcomeRequest) { r.Outcome.FracOnSSD = math.Inf(1) }, "frac_on_ssd"},
+		{"-inf frac", func(r *OutcomeRequest) { r.Outcome.FracOnSSD = math.Inf(-1) }, "frac_on_ssd"},
+		{"frac above 1", func(r *OutcomeRequest) { r.Outcome.FracOnSSD = 1.5 }, "frac_on_ssd"},
+		{"frac below 0", func(r *OutcomeRequest) { r.Outcome.FracOnSSD = -0.1 }, "frac_on_ssd"},
+		{"nan spilled_at", func(r *OutcomeRequest) { r.Outcome.SpilledAt = math.NaN() }, "spilled_at"},
+		{"inf spilled_at", func(r *OutcomeRequest) { r.Outcome.SpilledAt = math.Inf(1) }, "spilled_at"},
+		{"nan evicted_at", func(r *OutcomeRequest) { r.Outcome.EvictedAt = math.NaN() }, "evicted_at"},
+		{"inf evicted_at", func(r *OutcomeRequest) { r.Outcome.EvictedAt = math.Inf(-1) }, "evicted_at"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req := OutcomeRequest{
+				Job:     outcomeJob(),
+				Outcome: Outcome{FracOnSSD: 1, SpilledAt: -1, EvictedAt: -1},
+			}
+			tc.mutate(&req)
+			err := req.Validate()
+			if err == nil {
+				t.Fatal("poisoned outcome accepted")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("error %q does not name %q", err, tc.wantSub)
+			}
+		})
+	}
+}

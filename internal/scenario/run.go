@@ -11,6 +11,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/online"
 	"repro/internal/policy"
+	"repro/internal/rebalance"
 	"repro/internal/registry"
 	"repro/internal/serve"
 	"repro/internal/sim"
@@ -74,6 +75,8 @@ func Execute(spec *Spec) (*RunResult, error) {
 		res, err = runOnline(spec)
 	case PipelineFleet:
 		res, err = runFleet(spec)
+	case PipelineRebalance:
+		res, err = runRebalance(spec)
 	default:
 		err = fmt.Errorf("scenario %s: unknown pipeline %q", spec.Name, spec.Pipeline)
 	}
@@ -248,6 +251,64 @@ func runSim(spec *Spec) (*RunResult, error) {
 	fmt.Fprintf(&b, "ssd requested: %d of %d jobs (%.1f%%)\n",
 		wanted, len(e.test.Jobs), 100*float64(wanted)/float64(len(e.test.Jobs)))
 	fmt.Fprintf(&b, "ssd peak used: %.1f%% of quota\n", 100*res.SSDPeakUsed/e.quota)
+	return &RunResult{
+		Report: b.Bytes(),
+		Stats: Stats{
+			Jobs:    len(e.test.Jobs),
+			TCOPct:  res.TCOSavingsPercent(),
+			TCIOPct: res.TCIOSavingsPercent(),
+		},
+	}, nil
+}
+
+// runRebalance replays the test half twice through the Algorithm 1
+// write-time ranking policy: once bare, once wrapped in the
+// heat-aware global rebalancer (knapsack residency plan, demotions
+// and early evictions). The report shows both runs and the
+// rebalancer's solver counters; Stats carries the rebalanced run.
+func runRebalance(spec *Spec) (*RunResult, error) {
+	e, err := buildEnv(spec)
+	if err != nil {
+		return nil, err
+	}
+	newRanking := func() (sim.Policy, error) {
+		return policy.NewAdaptiveRanking(e.model, e.cm, core.DefaultAdaptiveConfig(e.model.NumCategories()))
+	}
+	plainPolicy, err := newRanking()
+	if err != nil {
+		return nil, err
+	}
+	plain, err := sim.Run(e.test, plainPolicy, e.cm, sim.Config{SSDQuota: e.quota})
+	if err != nil {
+		return nil, err
+	}
+	inner, err := newRanking()
+	if err != nil {
+		return nil, err
+	}
+	reb := rebalance.New(inner, e.cm, rebalance.Config{
+		HalfLifeSec:      spec.Run.heatHalfLifeSec(),
+		SolveIntervalSec: spec.Run.rebalanceSec(),
+	})
+	res, err := sim.Run(e.test, reb, e.cm, sim.Config{SSDQuota: e.quota})
+	if err != nil {
+		return nil, err
+	}
+	st := reb.Stats()
+	var b bytes.Buffer
+	e.writeHeader(&b, spec)
+	fmt.Fprintf(&b, "rebalance: solve every %.2fh, heat half-life %.2fh\n",
+		spec.Run.rebalanceSec()/3600, spec.Run.heatHalfLifeSec()/3600)
+	fmt.Fprintf(&b, "\nwrite-time only:      TCO %.3f%%  TCIO %.3f%%\n",
+		plain.TCOSavingsPercent(), plain.TCIOSavingsPercent())
+	fmt.Fprintf(&b, "write-time+rebalance: TCO %.3f%%  TCIO %.3f%%\n",
+		res.TCOSavingsPercent(), res.TCIOSavingsPercent())
+	fmt.Fprintf(&b, "rebalance win: %+.3f TCO points\n",
+		res.TCOSavingsPercent()-plain.TCOSavingsPercent())
+	fmt.Fprintf(&b, "solver: %d solves (%d LP-optimal, %d greedy fallbacks), %d workloads planned of %d seen\n",
+		st.Solves, st.LPOptimal, st.LPFallbacks, st.Planned, st.Workloads)
+	fmt.Fprintf(&b, "actions: %d demotions, %d early evictions over %d observations\n",
+		st.Demotions, st.Evictions, st.Observations)
 	return &RunResult{
 		Report: b.Bytes(),
 		Stats: Stats{

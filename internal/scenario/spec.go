@@ -31,10 +31,11 @@ import (
 
 // Pipeline names a scenario's execution seam.
 const (
-	PipelineSim    = "sim"    // policy simulation: ranking vs firstfit on the test half
-	PipelineServe  = "serve"  // frozen model behind the sharded batching server
-	PipelineOnline = "online" // closed continuous-learning loop with gated hot swaps
-	PipelineFleet  = "fleet"  // multi-cluster fleet comparison
+	PipelineSim       = "sim"       // policy simulation: ranking vs firstfit on the test half
+	PipelineServe     = "serve"     // frozen model behind the sharded batching server
+	PipelineOnline    = "online"    // closed continuous-learning loop with gated hot swaps
+	PipelineFleet     = "fleet"     // multi-cluster fleet comparison
+	PipelineRebalance = "rebalance" // write-time ranking alone vs wrapped in the heat-aware rebalancer
 )
 
 // Spec is the declarative scenario description parsed from
@@ -138,6 +139,12 @@ type RunSpec struct {
 	// MinRetrainJobs is the minimum window population for a retrain
 	// (0 = 150).
 	MinRetrainJobs int `json:"minRetrainJobs,omitempty"`
+	// RebalanceHours is the rebalance pipeline's solve cadence in
+	// virtual hours (0 = 1).
+	RebalanceHours float64 `json:"rebalanceHours,omitempty"`
+	// HeatHalfLifeHours is the rebalancer's heat decay half-life in
+	// virtual hours (0 = 6).
+	HeatHalfLifeHours float64 `json:"heatHalfLifeHours,omitempty"`
 }
 
 // FleetSpec configures the fleet pipeline.
@@ -186,7 +193,7 @@ func (s *Spec) Validate() error {
 		return fmt.Errorf("scenario: invalid name %q (want lowercase [a-z0-9-], <= 64 chars)", s.Name)
 	}
 	switch s.Pipeline {
-	case PipelineSim, PipelineServe, PipelineOnline:
+	case PipelineSim, PipelineServe, PipelineOnline, PipelineRebalance:
 		if s.Fleet != nil {
 			return fmt.Errorf("scenario %s: fleet block is only valid with pipeline %q", s.Name, PipelineFleet)
 		}
@@ -207,7 +214,7 @@ func (s *Spec) Validate() error {
 			return fmt.Errorf("scenario %s: %w", s.Name, err)
 		}
 	default:
-		return fmt.Errorf("scenario %s: unknown pipeline %q (want sim|serve|online|fleet)", s.Name, s.Pipeline)
+		return fmt.Errorf("scenario %s: unknown pipeline %q (want sim|serve|online|fleet|rebalance)", s.Name, s.Pipeline)
 	}
 	if err := s.Train.validate(); err != nil {
 		return fmt.Errorf("scenario %s: %w", s.Name, err)
@@ -309,6 +316,10 @@ func (r *RunSpec) validate() error {
 		return fmt.Errorf("windowMax %d out of range {0} ∪ [2, 1048576]", r.WindowMax)
 	case r.MinRetrainJobs < 0 || r.MinRetrainJobs == 1 || r.MinRetrainJobs > 1<<20:
 		return fmt.Errorf("minRetrainJobs %d out of range {0} ∪ [2, 1048576]", r.MinRetrainJobs)
+	case r.RebalanceHours < 0 || r.RebalanceHours > 24*365:
+		return fmt.Errorf("rebalanceHours %g out of range [0, 8760]", r.RebalanceHours)
+	case r.HeatHalfLifeHours < 0 || r.HeatHalfLifeHours > 24*365:
+		return fmt.Errorf("heatHalfLifeHours %g out of range [0, 8760]", r.HeatHalfLifeHours)
 	}
 	return nil
 }
@@ -339,6 +350,11 @@ func (r RunSpec) gateEpsPct() float64 {
 }
 func (r RunSpec) windowMax() int      { return defInt(r.WindowMax, 4096) }
 func (r RunSpec) minRetrainJobs() int { return defInt(r.MinRetrainJobs, 150) }
+
+// rebalanceSec / heatHalfLifeSec are the rebalance pipeline's cadence
+// and decay half-life in virtual seconds.
+func (r RunSpec) rebalanceSec() float64    { return defFloat(r.RebalanceHours, 1) * 3600 }
+func (r RunSpec) heatHalfLifeSec() float64 { return defFloat(r.HeatHalfLifeHours, 6) * 3600 }
 
 // retrainSec returns the cadence trigger; when both triggers are left
 // unset the loop defaults to a 12-virtual-hour cadence so an online

@@ -16,7 +16,7 @@ var shortSubset = regexp.MustCompile(`^(diurnal-burst|log-ingest)$`)
 
 // TestAllSpecsParse asserts the checked-in corpus is wholly loadable:
 // every scenarios/*/scenario.json parses and validates, the suite is
-// at least six scenarios strong, and all four pipeline seams appear.
+// at least six scenarios strong, and all five pipeline seams appear.
 // CI runs this as its spec-parse gate.
 func TestAllSpecsParse(t *testing.T) {
 	pkgs, err := Discover(repoScenarios)
@@ -30,7 +30,7 @@ func TestAllSpecsParse(t *testing.T) {
 	for _, p := range pkgs {
 		seams[p.Spec.Pipeline] = true
 	}
-	for _, want := range []string{PipelineSim, PipelineServe, PipelineOnline, PipelineFleet} {
+	for _, want := range []string{PipelineSim, PipelineServe, PipelineOnline, PipelineFleet, PipelineRebalance} {
 		if !seams[want] {
 			t.Errorf("no scenario drives the %s pipeline", want)
 		}
