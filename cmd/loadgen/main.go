@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/router"
 	"repro/internal/rpc"
 	"repro/internal/rpc/wire"
@@ -164,7 +165,12 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		errCount   atomic.Int64
 		wg         sync.WaitGroup
 	)
-	latencies := make([][]float64, *conns) // per-conn, ms
+	// Per-conn streaming histograms (nanoseconds) replace the old
+	// unbounded per-conn latency slices: memory stays flat no matter how
+	// long the run, at the cost of quantiles read from log-spaced buckets
+	// (<= ~25% relative width, so a reported p99 is within one bucket of
+	// the exact rank — the bound internal/obs documents and tests).
+	latencies := make([]obs.Histogram, *conns)
 	start := time.Now()
 	end := start.Add(*duration)
 	for w := 0; w < *conns; w++ {
@@ -226,11 +232,11 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 					// exactly the overload regime loadgen exists to
 					// expose. Only our own shutdown is excluded.
 					if ctx.Err() == nil {
-						latencies[w] = append(latencies[w], float64(time.Since(sent).Nanoseconds())/1e6)
+						latencies[w].RecordDuration(time.Since(sent))
 					}
 					continue
 				}
-				latencies[w] = append(latencies[w], float64(time.Since(sent).Nanoseconds())/1e6)
+				latencies[w].RecordDuration(time.Since(sent))
 				placements.Add(int64(len(decs)))
 				if *outcomes {
 					d0 := decs[0]
@@ -255,9 +261,10 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	var all []float64
-	for _, l := range latencies {
-		all = append(all, l...)
+	var lat obs.HistSnapshot
+	for i := range latencies {
+		snap := latencies[i].Snapshot()
+		lat.Merge(&snap)
 	}
 	s := summary{
 		Target:       target,
@@ -268,7 +275,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		Chunk:        *chunk,
 		TargetQPS:    *qps,
 		Elapsed:      elapsed,
-		Requests:     int64(len(all)),
+		Requests:     lat.Count,
 		Placements:   placements.Load(),
 		Outcomes:     outPosts.Load(),
 		Errors:       errCount.Load(),
@@ -282,9 +289,13 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	if elapsed > 0 {
 		s.AchievedQPS = float64(s.Placements) / elapsed.Seconds()
 	}
-	if len(all) > 0 {
-		qs := metrics.Quantiles(all, []float64{0.50, 0.95, 0.99, 1})
-		s.P50ms, s.P95ms, s.P99ms, s.MaxMs = qs[0], qs[1], qs[2], qs[3]
+	if lat.Count > 0 {
+		// Quantiles come from the merged histogram (bucket-interpolated);
+		// the max is exact — the histogram tracks it alongside the counts.
+		s.P50ms = lat.Quantile(0.50) / 1e6
+		s.P95ms = lat.Quantile(0.95) / 1e6
+		s.P99ms = lat.Quantile(0.99) / 1e6
+		s.MaxMs = float64(lat.Max) / 1e6
 	}
 	writeSummary(stdout, s)
 	// A signal mid-run is a graceful early stop: the summary above

@@ -4,7 +4,10 @@
 // SIGINT/SIGTERM, then drains gracefully and dumps its counters.
 //
 // Endpoints: POST /v1/place (single + batch), POST /v1/outcome
-// (feedback), GET /v1/model, GET /healthz, GET /varz.
+// (feedback), GET /v1/model, GET /healthz, GET /varz (counters, latency
+// histograms and process metadata), GET /tracez (recent sampled request
+// traces, keyed by the trace ID the ingress tier minted). With
+// -debug-addr a second listener serves net/http/pprof and expvar.
 //
 // With -online it additionally attaches a continuous learner: outcome
 // feedback posted to /v1/outcome feeds a sliding window, and gated
@@ -31,6 +34,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/cost"
+	"repro/internal/obs"
 	"repro/internal/online"
 	"repro/internal/registry"
 	"repro/internal/rpc"
@@ -68,6 +72,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		maxBatch = fs.Int("max-batch", 4096, "max jobs per place request (0 = unlimited)")
 		noBinary = fs.Bool("disable-binary", false, "serve JSON only: refuse binary frames and streams, omit the bin schema from /v1/model")
 		drain    = fs.Duration("drain", 10*time.Second, "graceful drain deadline on shutdown")
+		sample   = fs.Int("trace-sample", 100, "trace 1 in N requests at ingress (0 = only propagated IDs)")
+		ring     = fs.Int("trace-ring", 256, "sampled traces kept for /tracez")
+		debug    = fs.String("debug-addr", "", "optional second listener for /debug/pprof and /debug/vars (empty = off)")
 
 		onlineMode   = fs.Bool("online", false, "attach a continuous learner fed by /v1/outcome")
 		retrainHours = fs.Float64("retrain-hours", 24, "online: retrain cadence in virtual hours")
@@ -99,6 +106,8 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	cfg.QueueDeadline = *queue
 	cfg.MaxBatch = *maxBatch
 	cfg.DisableBinary = *noBinary
+	cfg.TraceSampleEvery = *sample
+	cfg.TraceRing = *ring
 
 	var learner *online.Learner
 	if *onlineMode {
@@ -125,6 +134,14 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "placementd listening on http://%s (workload %q, model v%d, %d categories, %d train jobs)\n",
 		d.Addr(), *workload, d.ModelVersion(), model.NumCategories(), trainJobs)
+	if *debug != "" {
+		ds, err := obs.StartDebugServer(*debug)
+		if err != nil {
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		defer ds.Close()
+		fmt.Fprintf(stdout, "debug listener on http://%s (pprof, expvar)\n", ds.Addr())
+	}
 
 	<-ctx.Done()
 	fmt.Fprintf(stdout, "signal received, draining (deadline %s)\n", *drain)

@@ -10,7 +10,14 @@
 // Endpoints: POST /v1/place (JSON), POST /v1/outcome (JSON, routed to
 // the backend owning the job's template so the feedback loop survives
 // the extra hop), GET /healthz (200 while at least one backend is
-// healthy), GET /varz (router + per-node state).
+// healthy), GET /varz (router + per-node state, process metadata and
+// per-node dispatch-latency histograms), GET /tracez (recent sampled
+// request traces; the front mints trace IDs at ingress and propagates
+// them to the backends, so the same ID appears on every tier's page).
+//
+// With -debug-addr a second listener serves net/http/pprof and expvar,
+// kept off the serving port so profiling is opt-in and fire-walled
+// separately.
 //
 // Usage:
 //
@@ -27,10 +34,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/router"
 	"repro/internal/rpc"
 	"repro/internal/rpc/wire"
@@ -60,6 +69,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		deadline = fs.Duration("deadline", 2*time.Second, "per-backend-request deadline")
 		maxBatch = fs.Int("max-batch", 4096, "max jobs per place request (0 = unlimited)")
 		drain    = fs.Duration("drain", 10*time.Second, "graceful drain deadline on shutdown")
+		sample   = fs.Int("trace-sample", 100, "trace 1 in N place requests (0 = off)")
+		ring     = fs.Int("trace-ring", 256, "sampled traces kept for /tracez")
+		debug    = fs.String("debug-addr", "", "optional second listener for /debug/pprof and /debug/vars (empty = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -89,12 +101,25 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	}
 	defer r.Close()
 
-	front := &front{router: r, maxBatch: *maxBatch}
+	front := &front{
+		router:   r,
+		maxBatch: *maxBatch,
+		tracer:   obs.NewTracer("placementfront", *sample, *ring),
+		start:    time.Now(),
+	}
 	srv := &http.Server{Addr: *addr, Handler: front.handler()}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.ListenAndServe() }()
 	fmt.Fprintf(stdout, "placementfront listening on http://%s over %d nodes (seed %d, %d vnodes)\n",
 		*addr, len(urls), *seed, *replicas)
+	if *debug != "" {
+		ds, err := obs.StartDebugServer(*debug)
+		if err != nil {
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		defer ds.Close()
+		fmt.Fprintf(stdout, "debug listener on http://%s (pprof, expvar)\n", ds.Addr())
+	}
 
 	select {
 	case err := <-serveErr:
@@ -135,6 +160,8 @@ func nodeURLs(list string) ([]string, error) {
 type front struct {
 	router   *router.Router
 	maxBatch int
+	tracer   *obs.Tracer
+	start    time.Time
 }
 
 func (f *front) handler() http.Handler {
@@ -143,7 +170,22 @@ func (f *front) handler() http.Handler {
 	mux.HandleFunc(wire.PathOutcome, f.handleOutcome)
 	mux.HandleFunc(wire.PathHealth, f.handleHealth)
 	mux.HandleFunc(wire.PathVarz, f.handleVarz)
+	mux.HandleFunc(wire.PathTracez, f.tracer.ServeTracez)
 	return mux
+}
+
+// traceIDFromHeader parses a propagated trace ID, 0 when absent or
+// malformed — a bad header never fails the request.
+func traceIDFromHeader(r *http.Request) uint64 {
+	h := r.Header.Get(wire.TraceHeader)
+	if h == "" {
+		return 0
+	}
+	id, err := strconv.ParseUint(h, 16, 64)
+	if err != nil {
+		return 0
+	}
+	return id
 }
 
 // handlePlace serves POST /v1/place in JSON and fans the batch out
@@ -163,7 +205,21 @@ func (f *front) handlePlace(w http.ResponseWriter, r *http.Request) {
 		writeJSONError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	decisions, err := f.router.Place(r.Context(), req.Jobs)
+	// Ingress owns the sampling decision: a client-propagated ID is
+	// always traced, otherwise sample 1-in-N. The builder rides the
+	// context so the router's dispatch goroutines and the node clients
+	// record spans and forward the ID without signature churn.
+	b := f.tracer.Begin(traceIDFromHeader(r))
+	defer b.Finish()
+	ctx := obs.WithTrace(r.Context(), b)
+	var placeStart time.Time
+	if b != nil {
+		placeStart = time.Now()
+	}
+	decisions, err := f.router.Place(ctx, req.Jobs)
+	if b != nil {
+		b.Span("front.place", fmt.Sprintf("%d jobs", len(req.Jobs)), placeStart, time.Since(placeStart))
+	}
 	if err != nil {
 		writeJSONError(w, http.StatusServiceUnavailable, err.Error())
 		return
@@ -220,10 +276,12 @@ func (f *front) handleHealth(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "no healthy backends")
 }
 
-// handleVarz serves GET /varz: the router counters in the shared text
-// exposition plus one line per backend with its health state.
+// handleVarz serves GET /varz: process metadata, the router counters in
+// the shared text exposition, one line per backend with its health
+// state, and each backend's dispatch-latency histogram.
 func (f *front) handleVarz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	obs.CollectProc(f.start).WriteText(w, "placementfront")
 	f.router.Stats().WriteText(w, "router")
 	cs := f.router.ClientStats()
 	fmt.Fprintf(w, "router_client_requests %d\n", cs.Requests)
@@ -237,6 +295,9 @@ func (f *front) handleVarz(w http.ResponseWriter, r *http.Request) {
 		}
 		fmt.Fprintf(w, "router_node{url=%q} healthy=%d weight=%.2f inflight=%d\n",
 			ns.URL, healthy, ns.Weight, ns.Inflight)
+	}
+	for _, nd := range f.router.DispatchLatency() {
+		nd.Hist.WriteTextLabeled(w, "router_dispatch_latency_ns", fmt.Sprintf("{node=%q}", nd.URL))
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/cost"
+	"repro/internal/obs"
 	"repro/internal/registry"
 	"repro/internal/router"
 	"repro/internal/rpc"
@@ -158,5 +159,114 @@ func TestFrontEndpoints(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("malformed place answered %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestFrontCrossTierTracing is the observability plane's acceptance
+// path: a place request through the front on a live 2-node plane, with
+// 1-in-1 sampling, must show up on the front's /tracez AND on a plane
+// daemon's /tracez under the SAME trace ID — the ID the front minted at
+// ingress, carried to the daemon inside the binary place frame.
+func TestFrontCrossTierTracing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model and starts a 2-node plane")
+	}
+	gcfg := trace.DefaultGeneratorConfig("front-trace-test", 7)
+	gcfg.DurationSec = 24 * 3600
+	gcfg.NumUsers = 4
+	tr := trace.NewGenerator(gcfg).Generate()
+	cm := cost.Default()
+	opts := core.DefaultTrainOptions()
+	opts.NumCategories = 4
+	opts.GBDT.NumRounds = 3
+	opts.GBDT.MaxDepth = 4
+	model, err := core.TrainCategoryModel(tr.Jobs, cm, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := registry.New()
+	if _, err := src.Publish("m", model, 0); err != nil {
+		t.Fatal(err)
+	}
+	dcfg := rpc.DefaultConfig(4)
+	dcfg.TraceSampleEvery = 1 // trace every request on the daemons too
+	plane, err := router.NewPlane(src, "m", cm, dcfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plane.Close()
+
+	rt, err := router.New(router.DefaultConfig(plane.URLs()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	f := &front{
+		router:   rt,
+		maxBatch: 4096,
+		tracer:   obs.NewTracer("placementfront", 1, 64),
+		start:    time.Now(),
+	}
+	srv := httptest.NewServer(f.handler())
+	defer srv.Close()
+
+	body, _ := json.Marshal(wire.PlaceRequest{Jobs: tr.Jobs[:16]})
+	resp, err := http.Post(srv.URL+wire.PathPlace, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("place answered %d, want 200", resp.StatusCode)
+	}
+
+	// Trace publication races the response (Finish runs in a defer after
+	// the body is written), so poll briefly.
+	fetch := func(url string) string {
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var b bytes.Buffer
+		_, _ = b.ReadFrom(resp.Body)
+		return b.String()
+	}
+	var id, frontPage string
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		frontPage = fetch(srv.URL + wire.PathTracez)
+		if i := strings.Index(frontPage, "trace "); i >= 0 && len(frontPage) >= i+22 {
+			id = frontPage[i+6 : i+22]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("front /tracez never showed a trace:\n%s", frontPage)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	for _, span := range []string{"front.place", "router.dispatch"} {
+		if !strings.Contains(frontPage, span) {
+			t.Errorf("front trace is missing the %s span:\n%s", span, frontPage)
+		}
+	}
+
+	found := false
+	for !found {
+		for _, url := range plane.URLs() {
+			page := fetch(url + wire.PathTracez)
+			if strings.Contains(page, "trace "+id) {
+				found = true
+				if !strings.Contains(page, "rpc.place") {
+					t.Errorf("daemon trace %s has no rpc.place span:\n%s", id, page)
+				}
+			}
+		}
+		if !found && time.Now().After(deadline) {
+			t.Fatalf("no plane daemon /tracez shows trace %s", id)
+		}
+		if !found {
+			time.Sleep(10 * time.Millisecond)
+		}
 	}
 }

@@ -1,0 +1,29 @@
+package obs
+
+import "context"
+
+// traceCtxKey keys the active TraceBuilder in a request context.
+type traceCtxKey struct{}
+
+// WithTrace returns ctx carrying b, so lower tiers (router dispatch,
+// rpc clients) can record spans and propagate the trace ID without any
+// signature churn. A nil builder returns ctx unchanged — the unsampled
+// path allocates nothing.
+func WithTrace(ctx context.Context, b *TraceBuilder) context.Context {
+	if b == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, traceCtxKey{}, b)
+}
+
+// TraceFrom returns the context's active builder, or nil.
+func TraceFrom(ctx context.Context) *TraceBuilder {
+	b, _ := ctx.Value(traceCtxKey{}).(*TraceBuilder)
+	return b
+}
+
+// TraceID returns the context's trace ID, or 0 when the request is
+// unsampled.
+func TraceID(ctx context.Context) uint64 {
+	return TraceFrom(ctx).ID()
+}

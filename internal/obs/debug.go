@@ -1,0 +1,45 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugServer is the opt-in -debug-addr listener: net/http/pprof and
+// expvar on their own mux and port, so profiling a live daemon never
+// exposes pprof on the serving address and never competes with the
+// serving mux. Profile-on-demand is the point — attach with
+//
+//	go tool pprof http://<debug-addr>/debug/pprof/profile?seconds=10
+type DebugServer struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// StartDebugServer listens on addr (":0" picks a free port) and serves
+// the debug endpoints in a background goroutine until Close.
+func StartDebugServer(addr string) (*DebugServer, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug listener: %w", err)
+	}
+	ds := &DebugServer{srv: &http.Server{Handler: mux}, ln: ln}
+	go func() { _ = ds.srv.Serve(ln) }()
+	return ds, nil
+}
+
+// Addr returns the bound debug address.
+func (s *DebugServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the debug listener.
+func (s *DebugServer) Close() error { return s.srv.Close() }

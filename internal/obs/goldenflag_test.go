@@ -1,0 +1,6 @@
+package obs
+
+// Linking testutil registers the shared -update flag in every test binary,
+// so `go test ./... -update` regenerates golden files across the whole repo
+// without individual packages failing on an unknown flag.
+import _ "repro/internal/testutil"

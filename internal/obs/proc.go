@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+)
+
+// ProcSnapshot is one process's runtime metadata for /varz: uptime,
+// build identity and the memstats gauges an operator needs to spot
+// leak/GC pathologies from the ops plane alone.
+type ProcSnapshot struct {
+	UptimeSec      int64
+	GoVersion      string
+	GOMAXPROCS     int
+	NumGoroutine   int
+	HeapInuseBytes uint64
+	GCPauseTotalNs uint64
+	NumGC          int64
+}
+
+// CollectProc reads the current process state. start is the process's
+// serving start instant. ReadMemStats costs a brief stop-the-world,
+// which is fine at /varz scrape cadence.
+func CollectProc(start time.Time) ProcSnapshot {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ProcSnapshot{
+		UptimeSec:      int64(time.Since(start).Seconds()),
+		GoVersion:      runtime.Version(),
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		NumGoroutine:   runtime.NumGoroutine(),
+		HeapInuseBytes: ms.HeapInuse,
+		GCPauseTotalNs: ms.PauseTotalNs,
+		NumGC:          int64(ms.NumGC),
+	}
+}
+
+// WriteText renders the shared text exposition under prefix.
+// Deterministic for fixed snapshot values — golden tests pin it.
+func (p ProcSnapshot) WriteText(w io.Writer, prefix string) {
+	fmt.Fprintf(w, "%s_uptime_sec %d\n", prefix, p.UptimeSec)
+	fmt.Fprintf(w, "%s_go_version %s\n", prefix, p.GoVersion)
+	fmt.Fprintf(w, "%s_gomaxprocs %d\n", prefix, p.GOMAXPROCS)
+	fmt.Fprintf(w, "%s_goroutines %d\n", prefix, p.NumGoroutine)
+	fmt.Fprintf(w, "%s_heap_inuse_bytes %d\n", prefix, p.HeapInuseBytes)
+	fmt.Fprintf(w, "%s_gc_pause_total_ns %d\n", prefix, p.GCPauseTotalNs)
+	fmt.Fprintf(w, "%s_num_gc %d\n", prefix, p.NumGC)
+}

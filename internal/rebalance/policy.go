@@ -1,8 +1,11 @@
 package rebalance
 
 import (
+	"time"
+
 	"repro/internal/cost"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -36,6 +39,11 @@ type Policy struct {
 	started   bool
 	nextSolve float64
 	quota     float64
+
+	// solveLat streams the wall-clock cost of each plan solve. It is
+	// observability only (/varz) — solves are driven by virtual time, so
+	// replays stay deterministic regardless of how long a solve takes.
+	solveLat obs.Histogram
 }
 
 // New wraps inner with a rebalancer. The inner policy's Observer and
@@ -136,7 +144,9 @@ func (p *Policy) maybeSolve(ctx sim.PlaceContext) {
 	for ctx.Now >= p.nextSolve {
 		p.nextSolve += p.cfg.solveInterval()
 	}
+	solveStart := time.Now()
 	p.plan = solvePlan(p.heat.Snapshot(ctx.Now), ctx.SSDQuota, p.cfg, p.counters)
+	p.solveLat.RecordDuration(time.Since(solveStart))
 }
 
 // Heat exposes the tracker (for daemons that feed it from the network
@@ -155,3 +165,8 @@ func (p *Policy) Plan() map[string]float64 {
 
 // Stats returns the rebalance counter snapshot.
 func (p *Policy) Stats() metrics.RebalanceSnapshot { return p.counters.Snapshot() }
+
+// SolveLatency returns the wall-clock solve-latency histogram
+// (nanoseconds per plan solve). A daemon embedding the policy renders
+// it on /varz; it never feeds scenario reports.
+func (p *Policy) SolveLatency() obs.HistSnapshot { return p.solveLat.Snapshot() }

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/rpc"
 	"repro/internal/rpc/wire"
 	"repro/internal/serve"
@@ -66,6 +67,11 @@ func DefaultConfig(nodes []string) Config {
 type node struct {
 	url    string
 	client *rpc.Client
+
+	// dispatchLat streams the wall-clock latency of every Place dispatch
+	// to this node (nanoseconds, including client retries). Lock-free —
+	// recorded outside n.mu from the dispatch goroutines.
+	dispatchLat obs.Histogram
 
 	mu        sync.Mutex
 	healthy   bool
@@ -177,6 +183,25 @@ func (r *Router) Nodes() []NodeState {
 		n.mu.Lock()
 		out = append(out, NodeState{URL: n.url, Healthy: n.healthy, Weight: n.weight, Inflight: n.inflight})
 		n.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].URL < out[j].URL })
+	return out
+}
+
+// NodeDispatch is one node's dispatch-latency histogram (for /varz).
+type NodeDispatch struct {
+	URL  string
+	Hist obs.HistSnapshot
+}
+
+// DispatchLatency returns every node's dispatch-latency histogram
+// snapshot (nanoseconds per Place dispatch), sorted by URL.
+func (r *Router) DispatchLatency() []NodeDispatch {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]NodeDispatch, 0, len(r.nodes))
+	for _, n := range r.nodes {
+		out = append(out, NodeDispatch{URL: n.url, Hist: n.dispatchLat.Snapshot()})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].URL < out[j].URL })
 	return out
@@ -455,7 +480,11 @@ func (r *Router) dispatch(ctx context.Context, jobs []*trace.Job, out []wire.Dec
 			for i, idx := range nb.indices {
 				sub[i] = jobs[idx]
 			}
+			dispatchStart := time.Now()
 			ds, err := n.client.Place(ctx, sub)
+			dispatchDur := time.Since(dispatchStart)
+			n.dispatchLat.Record(dispatchDur.Nanoseconds())
+			obs.TraceFrom(ctx).Span("router.dispatch", nb.url, dispatchStart, dispatchDur)
 			n.mu.Lock()
 			n.inflight -= int64(len(nb.indices))
 			if err != nil && ctx.Err() == nil {

@@ -68,3 +68,70 @@ func BenchmarkRPCPlace(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkRPCPlaceTracing measures what request tracing costs on the
+// binary place hot path at three sampling rates: off (no tracer),
+// 1-in-100 (the production default) and every request. The
+// BENCH_obs.json baseline records these side by side — the acceptance
+// bound is 1-in-100 within 2% of off.
+//
+// Re-record with:
+//
+//	go test -run '^$' -bench BenchmarkRPCPlaceTracing -benchtime=2s ./internal/rpc
+func BenchmarkRPCPlaceTracing(b *testing.B) {
+	for _, bc := range []struct {
+		name   string
+		sample int
+	}{
+		{"off", 0},
+		{"sample_1in100", 100},
+		{"sample_all", 1},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			fx := testFixture(b)
+			reg := fx.newRegistry(b)
+			cfg := DefaultConfig(testCategories)
+			cfg.TraceSampleEvery = bc.sample
+			d, err := NewDaemon(reg, "w", fx.cm, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := d.Start("127.0.0.1:0"); err != nil {
+				b.Fatal(err)
+			}
+			defer func() {
+				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+				defer cancel()
+				_ = d.Shutdown(ctx)
+			}()
+
+			const chunk = 64
+			var cursor atomic.Int64
+			jobs := fx.jobs
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				ccfg := DefaultClientConfig(d.BaseURL())
+				ccfg.Codec = CodecBinary
+				c, err := NewClient(ccfg)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				defer c.Close()
+				ctx := context.Background()
+				for pb.Next() {
+					lo := int(cursor.Add(chunk)) % (len(jobs) - chunk)
+					if _, err := c.Place(ctx, jobs[lo:lo+chunk]); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			elapsed := b.Elapsed()
+			if elapsed > 0 {
+				b.ReportMetric(float64(b.N*chunk)/elapsed.Seconds(), "jobs/sec")
+			}
+		})
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"net/http"
 
 	"repro/internal/features"
+	"repro/internal/obs"
 	"repro/internal/rpc/wire"
 	"repro/internal/serve"
 	"repro/internal/trace"
@@ -23,6 +24,10 @@ type clientBinState struct {
 	enc     *features.Encoder
 	binner  *features.Binner
 	nf      int
+	// traceIDs records whether the daemon accepts the binary trace-ID
+	// extension (ModelInfo.TraceIDs); when false, trace IDs are dropped
+	// from binary frames rather than risking a reserved-bits rejection.
+	traceIDs bool
 }
 
 // clientScratch pools the binary place path's per-call buffers: one
@@ -99,14 +104,17 @@ func (c *Client) refreshBinState(ctx context.Context) (*clientBinState, error) {
 		return nil, fmt.Errorf("rpc: model schema mismatch: %d features declared, binner has %d, encoder has %d",
 			nf, binner.NumFeatures(), info.Encoder.NumFeatures())
 	}
-	st := &clientBinState{version: info.ModelVersion, enc: info.Encoder, binner: binner, nf: nf}
+	st := &clientBinState{version: info.ModelVersion, enc: info.Encoder, binner: binner, nf: nf, traceIDs: info.TraceIDs}
 	c.binState.Store(st)
 	return st, nil
 }
 
 // encodeBinaryPlace fills sc with the request columns for jobs under
 // st's schema and appends the complete request frame into sc.frame.
-func encodeBinaryPlace(st *clientBinState, jobs []*trace.Job, sc *clientScratch) error {
+// traceID rides in the frame's optional trace extension, but only when
+// the daemon negotiated it — silently dropped otherwise, since tracing
+// is best-effort and must never fail a placement.
+func encodeBinaryPlace(st *clientBinState, jobs []*trace.Job, traceID uint64, sc *clientScratch) error {
 	n, nf := len(jobs), st.nf
 	if cap(sc.backing) < n*nf {
 		sc.backing = make([]uint16, n*nf)
@@ -135,8 +143,11 @@ func encodeBinaryPlace(st *clientBinState, jobs []*trace.Job, sc *clientScratch)
 		sc.hashes[i] = serve.TemplateHash(j)
 		sc.arrivals[i] = j.ArrivalSec
 	}
+	if !st.traceIDs {
+		traceID = 0
+	}
 	var err error
-	sc.frame, err = wire.AppendPlaceRequestFrame(sc.frame[:0], st.version, nf, sc.hashes, sc.arrivals, sc.rows)
+	sc.frame, err = wire.AppendPlaceRequestFrame(sc.frame[:0], st.version, nf, traceID, sc.hashes, sc.arrivals, sc.rows)
 	return err
 }
 
@@ -163,7 +174,8 @@ func (c *Client) placeBinary(ctx context.Context, jobs []*trace.Job) (decisions 
 	c.requests.Add(1)
 	sc := c.scratch.Get().(*clientScratch)
 	defer c.scratch.Put(sc)
-	if err := encodeBinaryPlace(st, jobs, sc); err != nil {
+	traceID := obs.TraceID(ctx)
+	if err := encodeBinaryPlace(st, jobs, traceID, sc); err != nil {
 		c.failures.Add(1)
 		return nil, true, err
 	}
@@ -205,7 +217,7 @@ func (c *Client) placeBinary(ctx context.Context, jobs []*trace.Job) (decisions 
 				}
 				return nil, true, rerr
 			}
-			if err := encodeBinaryPlace(st, jobs, sc); err != nil {
+			if err := encodeBinaryPlace(st, jobs, traceID, sc); err != nil {
 				c.failures.Add(1)
 				return nil, true, err
 			}

@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/rpc/wire"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -311,6 +312,12 @@ func (c *Client) attempt(ctx context.Context, method, path string, payload []byt
 	}
 	if payload != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	// Sampled requests carry their trace ID so the daemon's /tracez can
+	// correlate its server-side spans with the caller's; the header is
+	// ignored by daemons that predate tracing.
+	if tid := obs.TraceID(ctx); tid != 0 {
+		req.Header.Set(wire.TraceHeader, fmt.Sprintf("%016x", tid))
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {

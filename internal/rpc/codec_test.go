@@ -139,7 +139,7 @@ func TestNegotiationMatrix(t *testing.T) {
 		t.Fatalf("binary state: %v (st=%v)", err, st)
 	}
 	var sc clientScratch
-	if err := encodeBinaryPlace(st, fx.jobs[:4], &sc); err != nil {
+	if err := encodeBinaryPlace(st, fx.jobs[:4], 0, &sc); err != nil {
 		t.Fatal(err)
 	}
 	jsonBody := []byte(`{"jobs":[` + jobJSON(t, fx) + `]}`)

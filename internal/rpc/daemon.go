@@ -31,6 +31,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -38,6 +39,7 @@ import (
 
 	"repro/internal/cost"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/online"
 	"repro/internal/registry"
 	"repro/internal/rpc/wire"
@@ -78,6 +80,14 @@ type Config struct {
 	// schema — the daemon then behaves exactly like a pre-binary
 	// JSON-only build (used by the compatibility tests).
 	DisableBinary bool
+	// TraceSampleEvery samples 1 in N place requests into the /tracez
+	// ring (0 disables self-sampling; requests arriving with a trace ID
+	// from an upstream tier are always captured, since the ingress tier
+	// owns the sampling decision). Unsampled requests pay one atomic
+	// add and zero allocations.
+	TraceSampleEvery int
+	// TraceRing bounds the /tracez ring buffer (0 = 256 traces).
+	TraceRing int
 }
 
 // DefaultConfig returns daemon parameters for an N-category model:
@@ -135,6 +145,24 @@ type Daemon struct {
 	listener net.Listener
 	served   chan struct{} // closed when the accept loop exits
 	serveErr error
+
+	// Observability plane: start anchors /varz uptime, tracer feeds
+	// /tracez, hists are the endpoint latency/queue-wait histograms.
+	// None of them feed scenario reports — wall-clock data stays in the
+	// ops endpoints (see internal/obs).
+	start  time.Time
+	tracer *obs.Tracer
+	hists  daemonHists
+}
+
+// daemonHists holds the daemon's streaming latency histograms, one per
+// hot path plus the shared admission queue wait. All are rendered as
+// cumulative-bucket lines with estimated p50/p95/p99 on /varz.
+type daemonHists struct {
+	placeJSON   obs.Histogram
+	placeBinary obs.Histogram
+	outcome     obs.Histogram
+	queueWait   obs.Histogram
 }
 
 // placeScratch is the pooled per-request state of the binary place path.
@@ -168,6 +196,8 @@ func NewDaemon(reg *registry.Registry, workload string, cm *cost.Model, cfg Conf
 		outcome:     newAdmission(cfg.MaxInFlightOutcome, cfg.QueueDeadline),
 		streamConns: map[net.Conn]struct{}{},
 		served:      make(chan struct{}),
+		start:       time.Now(),
+		tracer:      obs.NewTracer("placementd", cfg.TraceSampleEvery, cfg.TraceRing),
 	}
 	d.scratch.New = func() any { return &placeScratch{} }
 	d.http = &http.Server{Handler: d.Handler()}
@@ -184,6 +214,7 @@ func (d *Daemon) Handler() http.Handler {
 	mux.HandleFunc(wire.PathStream, d.handleStream)
 	mux.HandleFunc(wire.PathHealth, d.handleHealth)
 	mux.HandleFunc(wire.PathVarz, d.handleVarz)
+	mux.HandleFunc(wire.PathTracez, d.tracer.ServeTracez)
 	return mux
 }
 
@@ -297,6 +328,10 @@ func (d *Daemon) Kill() error {
 // Stats returns the daemon's request-counter snapshot.
 func (d *Daemon) Stats() metrics.RPCSnapshot { return d.counters.Snapshot() }
 
+// Tracer exposes the daemon's request tracer (for tests and embedders
+// that want programmatic access to what /tracez serves).
+func (d *Daemon) Tracer() *obs.Tracer { return d.tracer }
+
 // ServeStats returns the underlying serving core's merged counters.
 func (d *Daemon) ServeStats() metrics.ShardSnapshot { return d.srv.Stats() }
 
@@ -317,6 +352,7 @@ func (d *Daemon) modelInfo() wire.ModelInfo {
 	if !d.cfg.DisableBinary {
 		enc, binner, version := d.srv.WireModel()
 		info.Binary = true
+		info.TraceIDs = true
 		info.ModelVersion = version
 		info.NumFeatures = binner.NumFeatures()
 		info.BinEdges = binner.Edges
@@ -324,6 +360,21 @@ func (d *Daemon) modelInfo() wire.ModelInfo {
 		info.Encoder = enc
 	}
 	return info
+}
+
+// traceIDFromHeader parses the inbound trace-ID header. Absent or
+// malformed headers yield 0 — tracing is best-effort and never fails
+// a request.
+func traceIDFromHeader(r *http.Request) uint64 {
+	h := r.Header.Get(wire.TraceHeader)
+	if h == "" {
+		return 0
+	}
+	id, err := strconv.ParseUint(h, 16, 64)
+	if err != nil {
+		return 0
+	}
+	return id
 }
 
 // isBinaryRequest reports whether the request body is a binary frame.
@@ -352,11 +403,16 @@ func (d *Daemon) handlePlace(w http.ResponseWriter, r *http.Request) {
 		d.handlePlaceBinary(w, r, start)
 		return
 	}
+	b := d.tracer.Begin(traceIDFromHeader(r))
+	defer b.Finish()
 	if !d.place.acquire(r.Context()) {
 		d.shed(w, r)
 		return
 	}
 	defer d.place.release()
+	wait := time.Since(start)
+	d.hists.queueWait.RecordDuration(wait)
+	b.Span("rpc.queue_wait", "", start, wait)
 	var req wire.PlaceRequest
 	if !d.decode(w, r, &req) {
 		return
@@ -365,7 +421,14 @@ func (d *Daemon) handlePlace(w http.ResponseWriter, r *http.Request) {
 		d.badRequest(w, r, err)
 		return
 	}
+	var submitStart time.Time
+	if b != nil {
+		submitStart = time.Now()
+	}
 	decisions, err := d.srv.SubmitBatch(req.Jobs, nil)
+	if b != nil {
+		b.Span("serve.submit", "", submitStart, time.Since(submitStart))
+	}
 	if err != nil {
 		d.serverError(w, r, err)
 		return
@@ -382,7 +445,10 @@ func (d *Daemon) handlePlace(w http.ResponseWriter, r *http.Request) {
 	}
 	// Count before the response bytes go out: a client that reads its
 	// response and immediately scrapes /varz must see itself counted.
-	d.counters.RecordPlace(false, len(req.Jobs), time.Since(start))
+	lat := time.Since(start)
+	d.counters.RecordPlace(false, len(req.Jobs), lat)
+	d.hists.placeJSON.RecordDuration(lat)
+	b.Span("rpc.place.json", "", start, lat)
 	d.writeJSON(w, http.StatusOK, resp)
 }
 
@@ -400,6 +466,8 @@ func (d *Daemon) handlePlaceBinary(w http.ResponseWriter, r *http.Request, start
 		return
 	}
 	defer d.place.release()
+	wait := time.Since(start)
+	d.hists.queueWait.RecordDuration(wait)
 	sc := d.scratch.Get().(*placeScratch)
 	defer d.scratch.Put(sc)
 	body, err := readBody(http.MaxBytesReader(w, r.Body, d.cfg.MaxBodyBytes), sc.body[:0])
@@ -421,7 +489,24 @@ func (d *Daemon) handlePlaceBinary(w http.ResponseWriter, r *http.Request, start
 		d.badRequest(w, r, err)
 		return
 	}
+	// The trace ID arrives in-frame (the negotiated binary extension);
+	// the header is the fallback for JSON-speaking intermediaries. Begin
+	// sits after decode so a propagated ID is never missed.
+	tid := sc.breq.TraceID
+	if tid == 0 {
+		tid = traceIDFromHeader(r)
+	}
+	b := d.tracer.Begin(tid)
+	defer b.Finish()
+	b.Span("rpc.queue_wait", "", start, wait)
+	var submitStart time.Time
+	if b != nil {
+		submitStart = time.Now()
+	}
 	sc.decisions, err = d.srv.SubmitEncoded(sc.breq.ModelVersion, sc.breq.Hashes, sc.breq.Arrivals, sc.breq.Rows, sc.decisions)
+	if b != nil {
+		b.Span("serve.submit", "", submitStart, time.Since(submitStart))
+	}
 	if err != nil {
 		if errors.Is(err, serve.ErrModelVersion) {
 			d.counters.RecordBadRequest()
@@ -433,12 +518,22 @@ func (d *Daemon) handlePlaceBinary(w http.ResponseWriter, r *http.Request, start
 	}
 	sc.wdecs = appendWireDecisions(sc.wdecs[:0], sc.decisions)
 	if wantsBinary(r) {
+		var encStart time.Time
+		if b != nil {
+			encStart = time.Now()
+		}
 		sc.out, err = wire.AppendPlaceResponseFrame(sc.out[:0], sc.breq.ModelVersion, sc.wdecs)
+		if b != nil {
+			b.Span("rpc.encode", "", encStart, time.Since(encStart))
+		}
 		if err != nil {
 			d.serverError(w, r, err)
 			return
 		}
-		d.counters.RecordPlace(true, len(sc.breq.Rows), time.Since(start))
+		lat := time.Since(start)
+		d.counters.RecordPlace(true, len(sc.breq.Rows), lat)
+		d.hists.placeBinary.RecordDuration(lat)
+		b.Span("rpc.place.binary", "", start, lat)
 		w.Header().Set("Content-Type", wire.ContentTypeBinary)
 		w.WriteHeader(http.StatusOK)
 		_, _ = w.Write(sc.out)
@@ -446,7 +541,10 @@ func (d *Daemon) handlePlaceBinary(w http.ResponseWriter, r *http.Request, start
 	}
 	// Binary request, JSON response (debug asymmetry). Job IDs never
 	// crossed the wire, so decisions are matched by order alone.
-	d.counters.RecordPlace(true, len(sc.breq.Rows), time.Since(start))
+	lat := time.Since(start)
+	d.counters.RecordPlace(true, len(sc.breq.Rows), lat)
+	d.hists.placeBinary.RecordDuration(lat)
+	b.Span("rpc.place.binary", "", start, lat)
 	d.writeJSON(w, http.StatusOK, wire.PlaceResponse{Decisions: sc.wdecs})
 }
 
@@ -489,11 +587,16 @@ func (d *Daemon) handleOutcome(w http.ResponseWriter, r *http.Request) {
 		d.methodNotAllowed(w, r)
 		return
 	}
+	b := d.tracer.Begin(traceIDFromHeader(r))
+	defer b.Finish()
 	if !d.outcome.acquire(r.Context()) {
 		d.shed(w, r)
 		return
 	}
 	defer d.outcome.release()
+	wait := time.Since(start)
+	d.hists.queueWait.RecordDuration(wait)
+	b.Span("rpc.queue_wait", "", start, wait)
 	var req wire.OutcomeRequest
 	if !d.decode(w, r, &req) {
 		return
@@ -518,7 +621,10 @@ func (d *Daemon) handleOutcome(w http.ResponseWriter, r *http.Request) {
 	if d.cfg.OutcomeObserver != nil {
 		d.cfg.OutcomeObserver.Observe(req.Job, o)
 	}
-	d.counters.RecordOutcome(time.Since(start))
+	lat := time.Since(start)
+	d.counters.RecordOutcome(lat)
+	d.hists.outcome.RecordDuration(lat)
+	b.Span("rpc.outcome", "", start, lat)
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -549,19 +655,35 @@ func (d *Daemon) handleHealth(w http.ResponseWriter, r *http.Request) {
 // daemon's and serving core's counters.
 func (d *Daemon) handleVarz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	var onl *metrics.OnlineSnapshot
+	v := &varzData{
+		info:        d.modelInfo(),
+		proc:        obs.CollectProc(d.start),
+		rpc:         d.counters.Snapshot(),
+		srv:         d.srv.Stats(),
+		placeJSON:   d.hists.placeJSON.Snapshot(),
+		placeBinary: d.hists.placeBinary.Snapshot(),
+		outcome:     d.hists.outcome.Snapshot(),
+		queueWait:   d.hists.queueWait.Snapshot(),
+		batchLat:    d.srv.BatchLatency(),
+		queueDepth:  d.srv.QueueDepth(),
+	}
 	if d.cfg.Learner != nil {
 		s := d.cfg.Learner.Stats()
-		onl = &s
+		v.onl = &s
 	}
-	var reb *metrics.RebalanceSnapshot
 	if st, ok := d.cfg.OutcomeObserver.(interface {
 		Stats() metrics.RebalanceSnapshot
 	}); ok {
 		s := st.Stats()
-		reb = &s
+		v.reb = &s
 	}
-	writeVarz(w, d.modelInfo(), d.counters.Snapshot(), d.srv.Stats(), onl, reb)
+	if sl, ok := d.cfg.OutcomeObserver.(interface {
+		SolveLatency() obs.HistSnapshot
+	}); ok {
+		s := sl.SolveLatency()
+		v.solve = &s
+	}
+	writeVarz(w, v)
 }
 
 // handleStream serves POST /v1/stream: the persistent binary streaming
@@ -657,16 +779,29 @@ func (d *Daemon) serveStream(conn net.Conn, rw *bufio.ReadWriter) {
 			}
 			continue
 		}
+		b := d.tracer.Begin(sc.breq.TraceID)
 		if !d.place.acquire(context.Background()) {
+			b.Finish()
 			d.counters.RecordShed()
 			if d.writeStreamError(rw, wire.ErrCodeOverloaded, "overloaded: in-flight limit reached past queue deadline") != nil {
 				return
 			}
 			continue
 		}
+		wait := time.Since(start)
+		d.hists.queueWait.RecordDuration(wait)
+		b.Span("rpc.queue_wait", "", start, wait)
+		var submitStart time.Time
+		if b != nil {
+			submitStart = time.Now()
+		}
 		sc.decisions, err = d.srv.SubmitEncoded(sc.breq.ModelVersion, sc.breq.Hashes, sc.breq.Arrivals, sc.breq.Rows, sc.decisions)
+		if b != nil {
+			b.Span("serve.submit", "", submitStart, time.Since(submitStart))
+		}
 		d.place.release()
 		if err != nil {
+			b.Finish()
 			code := wire.ErrCodeServer
 			if errors.Is(err, serve.ErrModelVersion) {
 				code = wire.ErrCodeModelVersion
@@ -682,6 +817,7 @@ func (d *Daemon) serveStream(conn net.Conn, rw *bufio.ReadWriter) {
 		sc.wdecs = appendWireDecisions(sc.wdecs[:0], sc.decisions)
 		sc.out, err = wire.AppendPlaceResponseFrame(sc.out[:0], sc.breq.ModelVersion, sc.wdecs)
 		if err != nil {
+			b.Finish()
 			d.counters.RecordServerError()
 			if d.writeStreamError(rw, wire.ErrCodeServer, err.Error()) != nil {
 				return
@@ -689,13 +825,19 @@ func (d *Daemon) serveStream(conn net.Conn, rw *bufio.ReadWriter) {
 			continue
 		}
 		if _, err := rw.Write(sc.out); err != nil {
+			b.Finish()
 			return
 		}
 		if err := rw.Flush(); err != nil {
+			b.Finish()
 			return
 		}
 		d.counters.RecordStreamFrame()
-		d.counters.RecordPlace(true, len(sc.breq.Rows), time.Since(start))
+		lat := time.Since(start)
+		d.counters.RecordPlace(true, len(sc.breq.Rows), lat)
+		d.hists.placeBinary.RecordDuration(lat)
+		b.Span("rpc.place.stream", "", start, lat)
+		b.Finish()
 	}
 }
 

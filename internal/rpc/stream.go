@@ -10,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/rpc/wire"
 	"repro/internal/trace"
 )
@@ -139,7 +140,7 @@ func (s *StreamSession) Place(ctx context.Context, jobs []*trace.Job) ([]wire.De
 		c.failures.Add(1)
 		return nil, fmt.Errorf("rpc: stream session has no bin schema")
 	}
-	if err := encodeBinaryPlace(st, jobs, &s.sc); err != nil {
+	if err := encodeBinaryPlace(st, jobs, obs.TraceID(ctx), &s.sc); err != nil {
 		c.failures.Add(1)
 		return nil, err
 	}
@@ -178,7 +179,7 @@ func (s *StreamSession) Place(ctx context.Context, jobs []*trace.Job) ([]wire.De
 				}
 				return nil, rerr
 			}
-			if err := encodeBinaryPlace(st, jobs, &s.sc); err != nil {
+			if err := encodeBinaryPlace(st, jobs, obs.TraceID(ctx), &s.sc); err != nil {
 				c.failures.Add(1)
 				return nil, err
 			}

@@ -5,32 +5,69 @@ import (
 	"io"
 
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/rpc/wire"
 )
 
-// writeVarz renders the daemon's ops page: model identity lines, then
-// the shared text expositions of the request counters and the serving
-// core, then (when a learner is attached) the online-loop counters and
-// (when an outcome observer with stats is attached) the rebalance
-// counters. The output is deterministic for fixed snapshot values —
+// varzData is everything /varz renders, gathered by the handler so the
+// renderer itself is pure: fixed inputs produce fixed bytes, which is
+// what lets the golden test pin the exposition format while live pages
+// carry wall-clock data (uptime, latency histograms).
+type varzData struct {
+	info wire.ModelInfo
+	proc obs.ProcSnapshot
+	rpc  metrics.RPCSnapshot
+	srv  metrics.ShardSnapshot
+
+	// Endpoint latency/queue-wait histograms (nanoseconds) and the
+	// serving core's batch-latency/queue-depth histograms.
+	placeJSON   obs.HistSnapshot
+	placeBinary obs.HistSnapshot
+	outcome     obs.HistSnapshot
+	queueWait   obs.HistSnapshot
+	batchLat    obs.HistSnapshot
+	queueDepth  obs.HistSnapshot
+
+	// Optional sections, appended after everything above so the bare
+	// exposition stays a byte-prefix of the full one.
+	onl   *metrics.OnlineSnapshot
+	reb   *metrics.RebalanceSnapshot
+	solve *obs.HistSnapshot
+}
+
+// writeVarz renders the daemon's ops page: model identity lines,
+// process metadata, the request counters and their latency histograms,
+// the serving core's counters and histograms, then (when attached) the
+// online-loop counters and the rebalance counters + solve-latency
+// histogram. The output is deterministic for fixed snapshot values —
 // the golden test pins it, so operators' scrapers can rely on the keys.
-func writeVarz(w io.Writer, info wire.ModelInfo, rpc metrics.RPCSnapshot, srv metrics.ShardSnapshot, onl *metrics.OnlineSnapshot, reb *metrics.RebalanceSnapshot) {
-	fmt.Fprintf(w, "placementd_workload %s\n", info.Workload)
-	fmt.Fprintf(w, "placementd_model_version %d\n", info.ModelVersion)
-	fmt.Fprintf(w, "placementd_num_categories %d\n", info.NumCategories)
-	fmt.Fprintf(w, "placementd_shards %d\n", info.Shards)
-	fmt.Fprintf(w, "placementd_swaps %d\n", info.Swaps)
+func writeVarz(w io.Writer, v *varzData) {
+	fmt.Fprintf(w, "placementd_workload %s\n", v.info.Workload)
+	fmt.Fprintf(w, "placementd_model_version %d\n", v.info.ModelVersion)
+	fmt.Fprintf(w, "placementd_num_categories %d\n", v.info.NumCategories)
+	fmt.Fprintf(w, "placementd_shards %d\n", v.info.Shards)
+	fmt.Fprintf(w, "placementd_swaps %d\n", v.info.Swaps)
 	binary := 0
-	if info.Binary {
+	if v.info.Binary {
 		binary = 1
 	}
 	fmt.Fprintf(w, "placementd_binary %d\n", binary)
-	rpc.WriteText(w, "rpc")
-	srv.WriteText(w, "serve")
-	if onl != nil {
-		onl.WriteText(w, "online")
+	v.proc.WriteText(w, "placementd")
+	v.rpc.WriteText(w, "rpc")
+	v.placeJSON.WriteText(w, "rpc_place_json_latency_ns")
+	v.placeBinary.WriteText(w, "rpc_place_binary_latency_ns")
+	v.outcome.WriteText(w, "rpc_outcome_latency_ns")
+	v.queueWait.WriteText(w, "rpc_queue_wait_ns")
+	v.srv.WriteText(w, "serve")
+	v.batchLat.WriteText(w, "serve_batch_latency_ns")
+	v.queueDepth.WriteText(w, "serve_queue_depth")
+	if v.onl != nil {
+		v.onl.WriteText(w, "online")
 	}
-	if reb != nil {
-		reb.WriteText(w, "rebalance")
+	if v.reb != nil {
+		v.reb.WriteText(w, "rebalance")
+	}
+	if v.solve != nil {
+		v.solve.WriteText(w, "rebalance_solve_latency_ns")
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/rpc/wire"
 	"repro/internal/testutil"
 )
@@ -72,15 +73,51 @@ func TestVarzGolden(t *testing.T) {
 		Demotions:    1400,
 		Evictions:    230,
 	}
+	proc := obs.ProcSnapshot{
+		UptimeSec:      86400,
+		GoVersion:      "go1.22.0",
+		GOMAXPROCS:     16,
+		NumGoroutine:   31,
+		HeapInuseBytes: 25_165_824,
+		GCPauseTotalNs: 4_200_000,
+		NumGC:          112,
+	}
+	// Fixed recordings, not live ones: histogram varz lines must be
+	// byte-stable for fixed counts.
+	histOf := func(vals ...int64) obs.HistSnapshot {
+		var h obs.Histogram
+		for _, v := range vals {
+			h.Record(v)
+		}
+		return h.Snapshot()
+	}
+	v := &varzData{
+		info:        info,
+		proc:        proc,
+		rpc:         rpcSnap,
+		srv:         srvSnap,
+		placeJSON:   histOf(1_100_000, 1_400_000, 2_000_000),
+		placeBinary: histOf(300_000, 350_000, 410_000, 900_000),
+		outcome:     histOf(200_000, 210_000),
+		queueWait:   histOf(0, 1000, 2500, 40_000),
+		batchLat:    histOf(800_000, 950_000, 1_800_000),
+		queueDepth:  histOf(0, 0, 1, 3, 17),
+		onl:         &onlSnap,
+		reb:         &rebSnap,
+	}
+	solve := histOf(5_000_000, 7_500_000)
+	v.solve = &solve
 
 	var b bytes.Buffer
-	writeVarz(&b, info, rpcSnap, srvSnap, &onlSnap, &rebSnap)
+	writeVarz(&b, v)
 	testutil.Golden(t, "testdata/varz.golden", b.Bytes())
 
 	// Without a learner or rebalancer the optional blocks are absent
 	// but everything above them is byte-identical.
+	bareData := *v
+	bareData.onl, bareData.reb, bareData.solve = nil, nil, nil
 	var bare bytes.Buffer
-	writeVarz(&bare, info, rpcSnap, srvSnap, nil, nil)
+	writeVarz(&bare, &bareData)
 	if !bytes.HasPrefix(b.Bytes(), bare.Bytes()) {
 		t.Error("bare varz is not a prefix of the full exposition")
 	}

@@ -20,9 +20,17 @@ import (
 //
 // All fixed-width fields are little-endian. A place-request payload is
 //
-//	u32 model version | u32 num jobs | u16 num features | u16 reserved
+//	u32 model version | u32 num jobs | u16 num features | u16 flags
+//	[u64 trace ID, present iff flags bit 0]
 //	then per job: u32 template hash | u64 arrival (float64 bits)
 //	              | num_features x u16 bin index
+//
+// Payload flags other than bit 0 are reserved and rejected, which is
+// also the compatibility story for the trace-ID field itself: daemons
+// that predate it reject any nonzero flags, so clients only set bit 0
+// after seeing ModelInfo.TraceIDs — the field is negotiated, never
+// probed. Frames with flags == 0 are byte-identical to the pre-tracing
+// codec.
 //
 // — jobs travel as pre-binned feature vectors (see features.Binner), so
 // the daemon never touches strings, tokenization or vocabularies. A
@@ -80,8 +88,13 @@ const (
 // (template hash + arrival clock).
 const requestRowFixed = 4 + 8
 
-// requestHeadSize is the place-request payload preamble.
+// requestHeadSize is the place-request payload preamble, before the
+// optional trace-ID extension.
 const requestHeadSize = 4 + 4 + 2 + 2
+
+// reqFlagTraceID marks a place-request payload whose preamble is
+// followed by a u64 trace ID.
+const reqFlagTraceID uint16 = 1
 
 // responseHeadSize is the place-response payload preamble.
 const responseHeadSize = 4 + 4
@@ -105,8 +118,10 @@ func endFrame(dst []byte, start int) []byte {
 
 // AppendPlaceRequestFrame appends one complete place-request frame to
 // dst and returns the extended slice. hashes and arrivals are parallel
-// to rows; every row must be numFeatures wide.
-func AppendPlaceRequestFrame(dst []byte, modelVersion int, numFeatures int, hashes []uint32, arrivals []float64, rows [][]uint16) ([]byte, error) {
+// to rows; every row must be numFeatures wide. A nonzero traceID is
+// carried in the optional trace-ID extension (payload flag bit 0) —
+// callers must pass 0 unless the daemon advertised ModelInfo.TraceIDs.
+func AppendPlaceRequestFrame(dst []byte, modelVersion int, numFeatures int, traceID uint64, hashes []uint32, arrivals []float64, rows [][]uint16) ([]byte, error) {
 	if len(hashes) != len(rows) || len(arrivals) != len(rows) {
 		return dst, fmt.Errorf("wire: %d rows, %d hashes, %d arrivals", len(rows), len(hashes), len(arrivals))
 	}
@@ -123,7 +138,14 @@ func AppendPlaceRequestFrame(dst []byte, modelVersion int, numFeatures int, hash
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(modelVersion))
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(rows)))
 	dst = binary.LittleEndian.AppendUint16(dst, uint16(numFeatures))
-	dst = binary.LittleEndian.AppendUint16(dst, 0)
+	var flags uint16
+	if traceID != 0 {
+		flags |= reqFlagTraceID
+	}
+	dst = binary.LittleEndian.AppendUint16(dst, flags)
+	if traceID != 0 {
+		dst = binary.LittleEndian.AppendUint64(dst, traceID)
+	}
 	for i, row := range rows {
 		if len(row) != numFeatures {
 			return dst[:start], fmt.Errorf("wire: row %d has %d features, want %d", i, len(row), numFeatures)
@@ -180,10 +202,14 @@ func AppendErrorFrame(dst []byte, code uint16, msg string) []byte {
 type BinaryPlaceRequest struct {
 	ModelVersion int
 	NumFeatures  int
-	Hashes       []uint32
-	Arrivals     []float64
-	Rows         [][]uint16
-	backing      []uint16
+	// TraceID is the request's sampled trace ID, or 0 when the frame
+	// carried none (the common case — only sampled requests pay the
+	// 8-byte extension).
+	TraceID  uint64
+	Hashes   []uint32
+	Arrivals []float64
+	Rows     [][]uint16
+	backing  []uint16
 }
 
 // BinaryPlaceResponse is the decoded, reusable form of a place-response
@@ -278,8 +304,21 @@ func DecodePlaceRequest(payload []byte, req *BinaryPlaceRequest, maxBatch int) e
 	version := binary.LittleEndian.Uint32(payload[0:4])
 	numJobs := binary.LittleEndian.Uint32(payload[4:8])
 	nf := int(binary.LittleEndian.Uint16(payload[8:10]))
-	if binary.LittleEndian.Uint16(payload[10:12]) != 0 {
+	flags := binary.LittleEndian.Uint16(payload[10:12])
+	if flags&^reqFlagTraceID != 0 {
 		return fmt.Errorf("wire: reserved request bits set")
+	}
+	headSize := requestHeadSize
+	var traceID uint64
+	if flags&reqFlagTraceID != 0 {
+		headSize += 8
+		if len(payload) < headSize {
+			return fmt.Errorf("wire: place request payload truncated at %d bytes", len(payload))
+		}
+		traceID = binary.LittleEndian.Uint64(payload[requestHeadSize:headSize])
+		if traceID == 0 {
+			return fmt.Errorf("wire: trace ID flag set but trace ID is zero")
+		}
 	}
 	if numJobs == 0 {
 		return fmt.Errorf("wire: place request has no rows")
@@ -291,13 +330,14 @@ func DecodePlaceRequest(payload []byte, req *BinaryPlaceRequest, maxBatch int) e
 		return fmt.Errorf("wire: %d features per row outside (0,%d]", nf, MaxRowFeatures)
 	}
 	stride := int64(requestRowFixed) + 2*int64(nf)
-	if want := int64(requestHeadSize) + int64(numJobs)*stride; want != int64(len(payload)) {
+	if want := int64(headSize) + int64(numJobs)*stride; want != int64(len(payload)) {
 		return fmt.Errorf("wire: place request declares %d rows x %d features (%d bytes), payload has %d",
 			numJobs, nf, want, len(payload))
 	}
 	n := int(numJobs)
 	req.ModelVersion = int(version)
 	req.NumFeatures = nf
+	req.TraceID = traceID
 	if cap(req.Hashes) < n {
 		req.Hashes = make([]uint32, n)
 	}
@@ -314,7 +354,7 @@ func DecodePlaceRequest(payload []byte, req *BinaryPlaceRequest, maxBatch int) e
 	req.Arrivals = req.Arrivals[:n]
 	req.Rows = req.Rows[:n]
 	req.backing = req.backing[:n*nf]
-	off := requestHeadSize
+	off := headSize
 	for i := 0; i < n; i++ {
 		req.Hashes[i] = binary.LittleEndian.Uint32(payload[off:])
 		req.Arrivals[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[off+4:]))

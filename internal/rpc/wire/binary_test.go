@@ -32,7 +32,7 @@ func TestPlaceRequestRoundTrip(t *testing.T) {
 	hashes, arrivals, rows := testRequest(17, 31)
 	arrivals[3] = math.Inf(1)
 	arrivals[4] = -0.0
-	frame, err := AppendPlaceRequestFrame(nil, 42, 31, hashes, arrivals, rows)
+	frame, err := AppendPlaceRequestFrame(nil, 42, 31, 0, hashes, arrivals, rows)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,6 +56,82 @@ func TestPlaceRequestRoundTrip(t *testing.T) {
 	if !reflect.DeepEqual(req.Rows, rows) {
 		t.Fatal("rows did not round-trip")
 	}
+}
+
+// TestPlaceRequestTraceID covers the optional trace-ID extension: a
+// nonzero trace ID round-trips, a zero one leaves the frame in the
+// legacy (flags == 0) form byte-for-byte, and corrupted extensions are
+// rejected.
+func TestPlaceRequestTraceID(t *testing.T) {
+	hashes, arrivals, rows := testRequest(4, 5)
+	traced, err := AppendPlaceRequestFrame(nil, 3, 5, 0xfeedface12345678, hashes, arrivals, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := AppendPlaceRequestFrame(nil, 3, 5, 0, hashes, arrivals, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traced) != len(plain)+8 {
+		t.Fatalf("traced frame is %d bytes, plain %d; want exactly 8 more", len(traced), len(plain))
+	}
+	var req BinaryPlaceRequest
+	if _, payload, err := DecodeFrame(traced, 0); err != nil {
+		t.Fatal(err)
+	} else if err := DecodePlaceRequest(payload, &req, 0); err != nil {
+		t.Fatal(err)
+	}
+	if req.TraceID != 0xfeedface12345678 {
+		t.Fatalf("trace ID = %x, want feedface12345678", req.TraceID)
+	}
+	if !reflect.DeepEqual(req.Rows, rows) {
+		t.Fatal("rows did not round-trip alongside the trace ID")
+	}
+	if _, payload, err := DecodeFrame(plain, 0); err != nil {
+		t.Fatal(err)
+	} else if err := DecodePlaceRequest(payload, &req, 0); err != nil {
+		t.Fatal(err)
+	}
+	if req.TraceID != 0 {
+		t.Fatalf("plain frame decoded trace ID %x, want 0", req.TraceID)
+	}
+
+	// A daemon that predates tracing sees the extension as reserved bits:
+	// emulate it by requiring flags beyond bit 0 to reject.
+	bad := append([]byte(nil), traced...)
+	bad[HeaderSize+10] |= 2 // set a genuinely reserved payload flag
+	if _, payload, err := DecodeFrame(bad, 0); err != nil {
+		t.Fatal(err)
+	} else if err := DecodePlaceRequest(payload, &req, 0); err == nil || !strings.Contains(err.Error(), "reserved") {
+		t.Fatalf("reserved payload flag accepted: %v", err)
+	}
+	// Flag set but extension truncated: the length check must catch it.
+	short := append([]byte(nil), traced[:len(traced)-8]...)
+	binaryPatchLen(short, len(short)-HeaderSize)
+	if _, payload, err := DecodeFrame(short, 0); err != nil {
+		t.Fatal(err)
+	} else if err := DecodePlaceRequest(payload, &req, 0); err == nil {
+		t.Fatal("truncated trace extension accepted")
+	}
+	// Flag set but trace ID zero: contradictory, rejected.
+	zeroID := append([]byte(nil), traced...)
+	for i := 0; i < 8; i++ {
+		zeroID[HeaderSize+requestHeadSize+i] = 0
+	}
+	if _, payload, err := DecodeFrame(zeroID, 0); err != nil {
+		t.Fatal(err)
+	} else if err := DecodePlaceRequest(payload, &req, 0); err == nil || !strings.Contains(err.Error(), "zero") {
+		t.Fatalf("zero trace ID with flag set accepted: %v", err)
+	}
+}
+
+// binaryPatchLen rewrites a frame's payload-length field after a test
+// truncates its buffer.
+func binaryPatchLen(frame []byte, n int) {
+	frame[8] = byte(n)
+	frame[9] = byte(n >> 8)
+	frame[10] = byte(n >> 16)
+	frame[11] = byte(n >> 24)
 }
 
 func TestPlaceResponseRoundTrip(t *testing.T) {
@@ -104,7 +180,7 @@ func TestReadFrameStream(t *testing.T) {
 	hashes, arrivals, rows := testRequest(3, 5)
 	var stream []byte
 	var err error
-	stream, err = AppendPlaceRequestFrame(stream, 1, 5, hashes, arrivals, rows)
+	stream, err = AppendPlaceRequestFrame(stream, 1, 5, 0, hashes, arrivals, rows)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +207,7 @@ func TestReadFrameStream(t *testing.T) {
 // corruption errors cleanly, none panics.
 func TestDecodeRejections(t *testing.T) {
 	hashes, arrivals, rows := testRequest(2, 3)
-	good, err := AppendPlaceRequestFrame(nil, 1, 3, hashes, arrivals, rows)
+	good, err := AppendPlaceRequestFrame(nil, 1, 3, 0, hashes, arrivals, rows)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,7 +284,7 @@ func TestCodecSteadyStateAllocs(t *testing.T) {
 	var frame []byte
 	var req BinaryPlaceRequest
 	// Warm-up sizes every reusable buffer.
-	frame, err := AppendPlaceRequestFrame(frame[:0], 1, 31, hashes, arrivals, rows)
+	frame, err := AppendPlaceRequestFrame(frame[:0], 1, 31, 0, hashes, arrivals, rows)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,7 +292,7 @@ func TestCodecSteadyStateAllocs(t *testing.T) {
 		t.Fatal(err)
 	}
 	allocs := testing.AllocsPerRun(100, func() {
-		frame, err = AppendPlaceRequestFrame(frame[:0], 1, 31, hashes, arrivals, rows)
+		frame, err = AppendPlaceRequestFrame(frame[:0], 1, 31, 0, hashes, arrivals, rows)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -271,7 +347,7 @@ func BenchmarkWireCodec(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		var err error
-		frame, err = AppendPlaceRequestFrame(frame[:0], 1, 31, hashes, arrivals, rows)
+		frame, err = AppendPlaceRequestFrame(frame[:0], 1, 31, 0, hashes, arrivals, rows)
 		if err != nil {
 			b.Fatal(err)
 		}

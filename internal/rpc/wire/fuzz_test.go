@@ -16,7 +16,7 @@ func FuzzWireDecode(f *testing.F) {
 	// Seed with one well-formed frame of each type plus classic edge
 	// shapes; the generated corpus under testdata/fuzz adds regressions.
 	hashes, arrivals, rows := testRequest(2, 3)
-	reqFrame, err := AppendPlaceRequestFrame(nil, 7, 3, hashes, arrivals, rows)
+	reqFrame, err := AppendPlaceRequestFrame(nil, 7, 3, 0, hashes, arrivals, rows)
 	if err != nil {
 		f.Fatal(err)
 	}
@@ -24,7 +24,12 @@ func FuzzWireDecode(f *testing.F) {
 	if err != nil {
 		f.Fatal(err)
 	}
+	tracedFrame, err := AppendPlaceRequestFrame(nil, 7, 3, 0xabad1dea5eed, hashes, arrivals, rows)
+	if err != nil {
+		f.Fatal(err)
+	}
 	f.Add(reqFrame)
+	f.Add(tracedFrame)
 	f.Add(respFrame)
 	f.Add(AppendErrorFrame(nil, ErrCodeOverloaded, "busy"))
 	f.Add([]byte{})

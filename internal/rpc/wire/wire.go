@@ -38,7 +38,14 @@ const (
 	PathStream  = "/v1/stream"
 	PathHealth  = "/healthz"
 	PathVarz    = "/varz"
+	PathTracez  = "/tracez"
 )
+
+// TraceHeader carries a sampled request's trace ID (16 hex digits) on
+// the JSON paths. Daemons that predate tracing ignore it — headers are
+// the extensible part of the JSON codec — so the header needs no
+// negotiation, unlike the binary-frame trace field (ModelInfo.TraceIDs).
+const TraceHeader = "X-Byom-Trace-Id"
 
 // PlaceRequest asks for placement decisions for one or more jobs.
 // Decisions are returned in request order.
@@ -170,6 +177,13 @@ type ModelInfo struct {
 	// rows locally and keep the daemon's hot path free of per-job
 	// feature work.
 	Encoder *features.Encoder `json:"encoder,omitempty"`
+
+	// TraceIDs reports that the daemon decodes the optional trace-ID
+	// field of binary place-request frames (payload flag bit 0). Clients
+	// must not set that flag against daemons that omit this — older
+	// builds reject any nonzero payload flag bits, which is exactly the
+	// fallback story: the capability is advertised, never probed.
+	TraceIDs bool `json:"trace_ids,omitempty"`
 }
 
 // ErrorResponse is the JSON body of every non-2xx response.

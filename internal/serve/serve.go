@@ -42,6 +42,7 @@ import (
 	"repro/internal/features"
 	"repro/internal/gbdt"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/registry"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -191,6 +192,12 @@ type shard struct {
 	amu      sync.Mutex
 	adaptive *core.Adaptive
 	counters metrics.ShardCounters
+	// batchLat streams the enqueue-to-decision latency of every batch
+	// message; queueDepth samples the request-queue length once per
+	// processed batch. Both surface on /varz as histogram lines — they
+	// carry wall-clock data and never feed scenario reports.
+	batchLat   obs.Histogram
+	queueDepth obs.Histogram
 }
 
 // send enqueues one message with the pending handshake the drain flush
@@ -497,6 +504,28 @@ func (s *Server) Stats() metrics.ShardSnapshot {
 	return metrics.Merge(s.ShardSnapshots())
 }
 
+// BatchLatency returns the merged enqueue-to-decision latency histogram
+// across all shards (nanoseconds).
+func (s *Server) BatchLatency() obs.HistSnapshot {
+	var out obs.HistSnapshot
+	for _, sh := range s.shards {
+		snap := sh.batchLat.Snapshot()
+		out.Merge(&snap)
+	}
+	return out
+}
+
+// QueueDepth returns the merged per-batch queue-depth histogram across
+// all shards (messages waiting when a batch began processing).
+func (s *Server) QueueDepth() obs.HistSnapshot {
+	var out obs.HistSnapshot
+	for _, sh := range s.shards {
+		snap := sh.queueDepth.Snapshot()
+		out.Merge(&snap)
+	}
+	return out
+}
+
 // ACT returns each shard's current admission category threshold (the
 // Fig. 16 controller state, one value per shard).
 func (s *Server) ACT() []int {
@@ -608,6 +637,7 @@ func (s *Server) process(sh *shard, w *worker, flush metrics.FlushKind) {
 	if len(w.batch) == 0 {
 		return
 	}
+	sh.queueDepth.Record(int64(len(sh.reqs)))
 	am := s.active.Load()
 	for len(w.rows) < w.jobs {
 		w.rows = append(w.rows, nil)
@@ -653,6 +683,7 @@ func (s *Server) process(sh *shard, w *worker, flush metrics.FlushKind) {
 			continue
 		}
 		latency := now.Sub(m.enq)
+		sh.batchLat.RecordDuration(latency)
 		if m.span != nil {
 			for k := range m.span.rows {
 				cat := w.classes[n]
